@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs the
+corresponding experiment module once under ``pytest-benchmark`` timing and
+prints the same rows/series the paper reports (captured into ``bench_output.txt``
+by the top-level run command). Benchmarks default to one round so the full
+harness stays fast; pass ``--benchmark-enable-rounds`` semantics via the
+standard pytest-benchmark options if more samples are needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a callable exactly once under benchmark timing and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

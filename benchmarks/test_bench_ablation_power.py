@@ -1,0 +1,56 @@
+"""Ablation: value of power-state management (server-activation term).
+
+CarbonEdge's objective charges newly activated servers their base power
+(Equation 6's second term). This ablation starts every server powered OFF and
+compares the full policy against a variant that ignores activation emissions:
+the power-aware variant must activate no more servers and emit no more carbon.
+"""
+
+import numpy as np
+
+from repro.core.policies.carbon_edge import CarbonEdgePolicy
+from repro.core.validation import validate_solution
+from repro.carbon.service import CarbonIntensityService
+from repro.cluster.fleet import build_regional_fleet
+from repro.cluster.server import PowerState
+from repro.core.problem import PlacementProblem
+from repro.datasets.regions import CENTRAL_EU
+from repro.experiments.common import EXPERIMENT_SEED, region_latency, region_traces
+from repro.workloads.application import Application
+
+
+def _problem() -> PlacementProblem:
+    fleet = build_regional_fleet(CENTRAL_EU, servers_per_site=2, powered_on=False)
+    fleet.reset_allocations(PowerState.OFF)
+    carbon = CarbonIntensityService(traces=region_traces(CENTRAL_EU.name, seed=EXPERIMENT_SEED))
+    apps = [Application(app_id=f"a{i}", workload="ResNet50", source_site=site,
+                        latency_slo_ms=30.0, request_rate_rps=5.0, duration_hours=24.0)
+            for i, site in enumerate(fleet.sites())]
+    return PlacementProblem.build(apps, fleet.servers(), region_latency(CENTRAL_EU.name),
+                                  carbon, hour=4000, horizon_hours=24.0)
+
+
+def test_bench_ablation_power(bench_once):
+    problem = _problem()
+
+    def run_all():
+        out = {}
+        for label, manage in (("power-aware", True), ("power-blind", False)):
+            policy = CarbonEdgePolicy(solver="exact", manage_power=manage)
+            solution = policy.place(problem)
+            validate_solution(solution)
+            out[label] = {
+                "carbon_g": solution.total_carbon_g(),
+                "activated": float(np.sum(solution.newly_activated())),
+            }
+        return out
+
+    results = bench_once(run_all)
+    print("\nAblation (power-state management):")
+    for label, metrics in results.items():
+        print(f"  {label:12s} carbon {metrics['carbon_g']:9.1f} g   "
+              f"servers activated {metrics['activated']:.0f}")
+    assert results["power-aware"]["carbon_g"] <= results["power-blind"]["carbon_g"] + 1e-6
+    assert results["power-aware"]["activated"] <= results["power-blind"]["activated"]
+    # Power-aware placement consolidates: it activates fewer servers than sites.
+    assert results["power-aware"]["activated"] <= len(problem.servers)

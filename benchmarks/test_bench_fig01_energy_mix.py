@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 1 (energy mix + 4-region carbon intensity)."""
+
+from repro.experiments import fig01_energy_mix
+
+
+def test_bench_fig01_energy_mix(bench_once):
+    result = bench_once(fig01_energy_mix.run)
+    print("\n" + fig01_energy_mix.report(result))
+    # Shape check: Ontario must be the greenest of the four zones, Poland the dirtiest.
+    means = result["means"]
+    assert means["CA-ON"] < means["US-CA"] < means["EU-PL"]
+    assert means["US-NY"] < means["EU-PL"]

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 2 (mesoscale carbon-intensity snapshots)."""
+
+from repro.experiments import fig02_snapshots
+
+
+def test_bench_fig02_snapshots(bench_once):
+    result = bench_once(fig02_snapshots.run)
+    print("\n" + fig02_snapshots.report(result))
+    # Every region must show a meaningful spread at the snapshot hour.
+    for region, ratio in result["spread_ratios"].items():
+        assert ratio > 1.5, f"{region}: expected >1.5x spatial spread, got {ratio:.2f}"
+    # Central EU shows the largest spread (paper: 19.5x vs 2.2-7.9x elsewhere).
+    assert result["spread_ratios"]["Central EU"] == max(result["spread_ratios"].values())

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 3 (yearly mean carbon intensity per region)."""
+
+from repro.experiments import fig03_yearly
+
+
+def test_bench_fig03_yearly(bench_once):
+    result = bench_once(fig03_yearly.run)
+    print("\n" + fig03_yearly.report(result))
+    # Paper: 2.7x spread in the West US, 10.8x in Central EU.
+    assert 1.8 <= result["West US"]["ratio"] <= 4.0
+    assert 6.0 <= result["Central EU"]["ratio"] <= 16.0
+    assert result["Central EU"]["ratio"] > result["West US"]["ratio"]

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 4 (spatio-temporal variation in the West US)."""
+
+from repro.experiments import fig04_temporal
+
+
+def test_bench_fig04_temporal(bench_once):
+    result = bench_once(fig04_temporal.run)
+    print("\n" + fig04_temporal.report(result))
+    # Paper: Flagstaff swings ~300 g/kWh within a day; Kingman ~200 g/kWh across seasons.
+    assert result["diurnal_range"]["Flagstaff"] > 100.0
+    assert result["seasonal_range"]["Kingman"] > 50.0
+    # Every zone shows some diurnal structure.
+    assert all(v > 0 for v in result["diurnal_range"].values())

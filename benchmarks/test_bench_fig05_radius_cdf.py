@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 5 (carbon savings within a search radius)."""
+
+from repro.experiments import fig05_radius
+
+
+def test_bench_fig05_radius_cdf(bench_once):
+    result = bench_once(fig05_radius.run)
+    print("\n" + fig05_radius.report(result))
+    per_radius = result["per_radius"]
+    frac_above_20 = [per_radius[r]["cdf"]["above_20"] for r in result["radii_km"]]
+    median_latency = [per_radius[r]["median_latency_ms"] for r in result["radii_km"]]
+    # Larger radii find more savings and cost more latency (monotone shapes).
+    assert frac_above_20[0] <= frac_above_20[1] <= frac_above_20[2]
+    assert median_latency[0] <= median_latency[1] <= median_latency[2]
+    # Paper: 78% of sites can save >20% within 1000 km.
+    assert frac_above_20[-1] >= 0.4

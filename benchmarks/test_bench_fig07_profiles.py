@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 7 (workload profiles across devices)."""
+
+from repro.experiments import fig07_profiles
+
+
+def test_bench_fig07_profiles(bench_once):
+    result = bench_once(fig07_profiles.run)
+    print("\n" + fig07_profiles.report(result))
+    # Paper: ~45x energy spread across models on one device, ~2x across devices.
+    for device, spread in result["energy_spread_across_models"].items():
+        assert 20.0 <= spread <= 70.0, f"{device}: spread {spread}"
+    for model, spread in result["energy_spread_across_devices"].items():
+        assert 1.5 <= spread <= 4.0, f"{model}: spread {spread}"

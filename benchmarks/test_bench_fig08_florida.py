@@ -1,0 +1,17 @@
+"""Benchmark regenerating Figure 8 (Florida testbed intensity + emissions)."""
+
+from repro.experiments import fig08_florida
+
+
+def test_bench_fig08_florida(bench_once):
+    result = bench_once(fig08_florida.run)
+    print("\n" + fig08_florida.report(result))
+    runs = result["runs"]
+    latency_aware = runs["Latency-aware"]
+    carbon_edge = runs["CarbonEdge"]
+    # CarbonEdge consolidates every application in a single (greenest) zone.
+    assert len(set(carbon_edge.hosting_site.values())) == 1
+    # Latency-aware keeps every application at its own site.
+    assert len(set(latency_aware.hosting_site.values())) == 5
+    # And saves carbon overall.
+    assert carbon_edge.total_emissions_g < latency_aware.total_emissions_g

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 9 (Florida response times)."""
+
+from repro.experiments import fig09_response
+
+
+def test_bench_fig09_response(bench_once):
+    result = bench_once(fig09_response.run)
+    print("\n" + fig09_response.report(result))
+    # Paper: response-time increases stay below ~10 ms (avg 6.6 ms) because the
+    # data centers are close together. Allow headroom for the synthetic latency model.
+    assert result["mean_increase_ms"] <= 15.0
+    assert result["max_increase_ms"] <= 25.0
+    # The increase is non-negative on average (CarbonEdge never reduces latency).
+    assert result["mean_increase_ms"] >= 0.0

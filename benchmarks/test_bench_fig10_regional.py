@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 10 (regional emissions and latency overheads)."""
+
+from repro.experiments import fig10_regional
+
+
+def test_bench_fig10_regional(bench_once):
+    result = bench_once(fig10_regional.run)
+    print("\n" + fig10_regional.report(result))
+    summary = result["summary"]
+    # Paper: 39.4% savings in Florida, 78.7% in Central EU; EU > US.
+    assert 15.0 <= summary["Florida"]["savings_pct"] <= 60.0
+    assert 50.0 <= summary["Central EU"]["savings_pct"] <= 95.0
+    assert summary["Central EU"]["savings_pct"] > summary["Florida"]["savings_pct"]
+    # Response-time increases stay within a mesoscale budget.
+    for region in summary.values():
+        assert region["response_increase_ms"] <= 25.0

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 11 (year-long CDN-scale savings)."""
+
+from repro.experiments import fig11_cdn_year
+
+
+def test_bench_fig11_cdn_year(bench_once):
+    result = bench_once(fig11_cdn_year.run)
+    print("\n" + fig11_cdn_year.report(result))
+    summary = result["summary"]
+    # Paper: 49.5% savings in the US, 67.8% in Europe; Europe saves more.
+    assert summary["US"]["carbon_savings_pct"] >= 20.0
+    assert summary["EU"]["carbon_savings_pct"] >= 50.0
+    assert summary["EU"]["carbon_savings_pct"] > summary["US"]["carbon_savings_pct"]
+    # Paper: average round-trip latency increase stays under ~11 ms with a 20 ms limit.
+    for continent in ("US", "EU"):
+        assert summary[continent]["latency_increase_rtt_ms"] <= 20.0
+        # CarbonEdge shifts load toward lower-intensity zones than Latency-aware.
+        assert (summary[continent]["load_intensity_p50_carbon_edge"]
+                <= summary[continent]["load_intensity_p50_latency_aware"])

@@ -1,0 +1,21 @@
+"""Benchmark regenerating Figure 12 (latency-tolerance sweep)."""
+
+import numpy as np
+
+from repro.experiments import fig12_latency_sweep
+
+
+def test_bench_fig12_latency_sweep(bench_once):
+    result = bench_once(fig12_latency_sweep.run, n_epochs=3)
+    print("\n" + fig12_latency_sweep.report(result))
+    for continent in ("US", "EU"):
+        rows = [r for r in result["rows"] if r["continent"] == continent]
+        savings = np.array([r["carbon_savings_pct"] for r in rows])
+        increases = np.array([r["latency_increase_rtt_ms"] for r in rows])
+        limits = np.array([r["latency_limit_ms"] for r in rows])
+        # Savings are (weakly) increasing in the latency limit, with small numerical slack.
+        assert np.all(np.diff(savings) >= -3.0), f"{continent}: savings not increasing {savings}"
+        # The realised latency increase never exceeds the limit.
+        assert np.all(increases <= limits + 1e-6)
+        # A 30 ms budget saves more than a 5 ms budget.
+        assert savings[-1] > savings[0]

@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 13 (seasonality of savings and placements)."""
+
+import numpy as np
+
+from repro.experiments import fig13_seasonality
+
+
+def test_bench_fig13_seasonality(bench_once):
+    result = bench_once(fig13_seasonality.run)
+    print("\n" + fig13_seasonality.report(result))
+    for continent, series in result["monthly"].items():
+        savings = np.array(series["savings_pct"])
+        assert len(savings) == 12
+        # Savings stay positive year-round and vary with the seasons
+        # (paper: ~3%-points spread in the US, ~10%-points in Europe).
+        assert np.all(savings > 0)
+        assert 0.1 <= float(savings.max() - savings.min()) <= 40.0
+    # Placement counts at the focus cities change across months (paper: up to 3x).
+    swings = [max(v) - min(v) for v in result["placements_by_city"].values() if max(v) > 0]
+    assert any(s > 0 for s in swings)

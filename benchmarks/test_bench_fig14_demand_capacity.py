@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 14 (demand and capacity distributions)."""
+
+from repro.experiments import fig14_demand_capacity
+
+
+def test_bench_fig14_demand_capacity(bench_once):
+    result = bench_once(fig14_demand_capacity.run, n_epochs=3)
+    print("\n" + fig14_demand_capacity.report(result))
+    rows = {(r["continent"], r["scenario"]): r for r in result["rows"]}
+    for continent in ("US", "EU"):
+        homo = rows[(continent, "Homo")]["carbon_savings_pct"]
+        demand = rows[(continent, "Demand")]["carbon_savings_pct"]
+        capacity = rows[(continent, "Capacity")]["carbon_savings_pct"]
+        # All scenarios keep substantial savings…
+        assert homo > 10.0 and demand > 10.0 and capacity > 10.0
+        # …and skewing demand/capacity never *increases* savings by a large margin
+        # (the paper reports reductions of up to ~6%).
+        assert demand <= homo + 15.0
+        assert capacity <= homo + 15.0

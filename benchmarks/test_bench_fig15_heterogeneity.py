@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 15 (heterogeneous resources and policies)."""
+
+from repro.experiments import fig15_heterogeneity
+
+
+def test_bench_fig15_heterogeneity(bench_once):
+    result = bench_once(fig15_heterogeneity.run)
+    print("\n" + fig15_heterogeneity.report(result))
+    per_pool = result["per_pool"]
+    # Homogeneous pools: the Orin Nano pool uses far less energy than the GTX 1080 pool
+    # for the same load (paper: ~95% less) under the Latency-aware policy.
+    orin_energy = per_pool["Orin Nano"]["Latency-aware"]["energy_j"]
+    gtx_energy = per_pool["GTX 1080"]["Latency-aware"]["energy_j"]
+    assert orin_energy < 0.6 * gtx_energy
+    # On every pool, CarbonEdge emits no more carbon than any baseline.
+    for pool, policies in per_pool.items():
+        carbon_edge = policies["CarbonEdge"]["carbon_g"]
+        for name, metrics in policies.items():
+            assert carbon_edge <= metrics["carbon_g"] + 1e-6, (pool, name)
+    # On the heterogeneous pool CarbonEdge strictly beats Latency-aware and Intensity-aware.
+    hetero = per_pool["Hetero."]
+    assert hetero["CarbonEdge"]["carbon_g"] < hetero["Latency-aware"]["carbon_g"]
+    assert hetero["CarbonEdge"]["carbon_g"] <= hetero["Intensity-aware"]["carbon_g"] + 1e-6

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 16 (carbon-energy trade-off, Equation 8)."""
+
+import numpy as np
+
+from repro.experiments import fig16_tradeoff
+
+
+def test_bench_fig16_tradeoff(bench_once):
+    result = bench_once(fig16_tradeoff.run)
+    print("\n" + fig16_tradeoff.report(result))
+    for utilization, data in result["scenarios"].items():
+        carbon = np.array(data["carbon_g"])
+        energy = np.array(data["energy_j"])
+        # alpha=0 minimises carbon, alpha=1 minimises energy.
+        assert carbon[0] <= carbon[-1] + 1e-6, utilization
+        assert energy[-1] <= energy[0] + 1e-6, utilization
+        # CarbonEdge at alpha=0 beats the Latency-aware baseline on carbon.
+        assert carbon[0] < data["baseline_carbon_g"]
+        # High utilisation moves much more carbon/energy than low utilisation.
+    low_total = result["scenarios"]["low"]["carbon_g"][0]
+    high_total = result["scenarios"]["high"]["carbon_g"][0]
+    assert high_total > low_total

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 17 (placement-algorithm scalability)."""
+
+from repro.experiments import fig17_scalability
+
+
+def test_bench_fig17_scalability(bench_once):
+    result = bench_once(fig17_scalability.run)
+    print("\n" + fig17_scalability.report(result))
+    # Paper: 400 servers / 140 applications place within 3 s and <200 MB (OR-Tools).
+    # Our in-house solver targets the same order of magnitude.
+    for row in result["by_servers"] + result["by_apps"]:
+        assert row["time_s"] <= 30.0, row
+        assert row["peak_memory_mb"] <= 500.0, row

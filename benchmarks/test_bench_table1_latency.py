@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 1 (pairwise one-way latencies)."""
+
+from repro.experiments import table1_latency
+
+
+def test_bench_table1_latency(bench_once):
+    result = bench_once(table1_latency.run)
+    print("\n" + table1_latency.report(result))
+    florida, central_eu = result["Florida"], result["Central EU"]
+    # Paper: Florida pairs are 1.9-7.2 ms; Central EU pairs reach ~16 ms.
+    assert 0.5 <= florida["mean_ms"] <= 8.0
+    assert florida["max_ms"] <= 12.0
+    assert central_eu["max_ms"] <= 25.0
+    assert central_eu["mean_ms"] > florida["mean_ms"]

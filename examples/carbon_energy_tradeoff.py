@@ -1,0 +1,30 @@
+"""Navigating the carbon-energy trade-off (the paper's Section 6.4).
+
+Sweeps the multi-objective weight alpha of Equation 8 from 0 (pure carbon
+minimisation) to 1 (pure energy minimisation) on a heterogeneous European edge
+deployment and prints the resulting carbon/energy frontier, highlighting the
+"sweet spot" where most of the carbon savings survive at a fraction of the
+energy cost.
+
+Run with:  python examples/carbon_energy_tradeoff.py
+"""
+
+from repro.experiments import fig16_tradeoff
+
+
+def main() -> None:
+    result = fig16_tradeoff.run(seed=7)
+    for utilization, data in result["scenarios"].items():
+        print(f"\n=== {utilization} utilisation ===")
+        print(f"{'alpha':>6} | {'carbon (kg)':>12} | {'energy (MJ)':>12}")
+        for alpha, carbon, energy in zip(result["alphas"], data["carbon_g"], data["energy_j"]):
+            print(f"{alpha:6.1f} | {carbon / 1e3:12.2f} | {energy / 1e6:12.2f}")
+        base = data["baseline_carbon_g"]
+        print(f"Latency-aware baseline carbon: {base / 1e3:.2f} kg "
+              f"(CarbonEdge at alpha=0 saves {data['savings_at_alpha0_pct']:.1f}%)")
+        print(f"Energy cost of carbon-only placement vs energy-only: "
+              f"{data['energy_ratio_alpha0_vs_alpha1']:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

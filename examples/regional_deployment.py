@@ -1,0 +1,36 @@
+"""Regional edge deployment on the emulated testbed (the paper's Section 6.2).
+
+Runs the CPU sensor-processing application and the ResNet50 serving application
+for 24 hours on the Florida and Central-EU testbeds, comparing the Latency-aware
+baseline against CarbonEdge: total emissions, savings, and response-time
+increases — the data behind Figures 8–10.
+
+Run with:  python examples/regional_deployment.py
+"""
+
+from repro.core import CarbonEdgePolicy, LatencyAwarePolicy
+from repro.datasets import CENTRAL_EU, FLORIDA
+from repro.testbed import build_testbed, run_testbed_experiment
+
+START_HOUR = 4700  # a mid-July day
+
+
+def main() -> None:
+    for region in (FLORIDA, CENTRAL_EU):
+        testbed = build_testbed(region, seed=7)
+        print(f"\n=== {region.name} regional deployment ===")
+        for workload in ("Sci", "ResNet50"):
+            baseline = run_testbed_experiment(testbed, LatencyAwarePolicy(), workload=workload,
+                                              hours=24, start_hour=START_HOUR)
+            carbon_edge = run_testbed_experiment(testbed, CarbonEdgePolicy(), workload=workload,
+                                                 hours=24, start_hour=START_HOUR)
+            saving = (1 - carbon_edge.total_emissions_g / baseline.total_emissions_g) * 100
+            rt_increase = carbon_edge.mean_response_ms() - baseline.mean_response_ms()
+            hosting = sorted(set(carbon_edge.hosting_site.values()))
+            print(f"{workload:10s}  emissions {baseline.total_emissions_g:8.1f} g -> "
+                  f"{carbon_edge.total_emissions_g:8.1f} g  ({saving:5.1f}% savings)  "
+                  f"response +{rt_increase:4.1f} ms   CarbonEdge hosts at {hosting}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Legacy setup shim so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy (setup.py develop) editable-install path in offline environments.
+"""
+from setuptools import setup
+
+setup()

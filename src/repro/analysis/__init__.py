@@ -1,0 +1,27 @@
+"""Mesoscale carbon analysis (Section 3) and savings reporting helpers."""
+
+from repro.analysis.mesoscale import (
+    RegionSnapshot,
+    region_snapshot,
+    yearly_region_stats,
+    radius_savings_analysis,
+    radius_latency_analysis,
+    savings_cdf,
+)
+from repro.analysis.savings import carbon_savings_pct, PolicyComparison, compare_solutions
+from repro.analysis.reporting import format_table, format_cdf, format_series
+
+__all__ = [
+    "RegionSnapshot",
+    "region_snapshot",
+    "yearly_region_stats",
+    "radius_savings_analysis",
+    "radius_latency_analysis",
+    "savings_cdf",
+    "carbon_savings_pct",
+    "PolicyComparison",
+    "compare_solutions",
+    "format_table",
+    "format_cdf",
+    "format_series",
+]

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment tables, series, and CDFs.
+
+The benchmark harness prints the rows/series each paper figure or table
+reports; these helpers keep that formatting consistent and easy to diff.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in rendered:
+        lines.append(" | ".join(r[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Sequence[float]], title: str = "",
+                  precision: int = 2) -> str:
+    """Render named numeric series (one per line)."""
+    lines = [title] if title else []
+    for name, values in series.items():
+        rendered = ", ".join(f"{float(v):.{precision}f}" for v in values)
+        lines.append(f"{name}: [{rendered}]")
+    return "\n".join(lines)
+
+
+def format_cdf(values: Sequence[float], title: str = "",
+               percentiles: Sequence[float] = (10, 25, 50, 75, 90)) -> str:
+    """Render a distribution as selected percentiles."""
+    arr = np.asarray(list(values), dtype=float)
+    lines = [title] if title else []
+    if arr.size == 0:
+        lines.append("(empty)")
+        return "\n".join(lines)
+    for q in percentiles:
+        lines.append(f"p{int(q):02d}: {np.percentile(arr, q):.2f}")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,71 @@
+"""Carbon-savings computation and policy comparisons.
+
+The paper reports every result relative to the Latency-aware baseline
+(Section 6.1.4): carbon savings in percent, round-trip latency increase in
+milliseconds, and energy consumption. These helpers implement that comparison
+for single solutions and aggregated simulation results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.solution import PlacementSolution
+
+
+def carbon_savings_pct(baseline_carbon_g: float, policy_carbon_g: float) -> float:
+    """Percentage carbon savings of a policy relative to a baseline."""
+    if baseline_carbon_g < 0 or policy_carbon_g < 0:
+        raise ValueError("carbon totals must be non-negative")
+    if baseline_carbon_g == 0:
+        return 0.0
+    return (baseline_carbon_g - policy_carbon_g) / baseline_carbon_g * 100.0
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    """Comparison of one policy against the Latency-aware baseline."""
+
+    policy: str
+    baseline: str
+    carbon_savings_pct: float
+    latency_increase_ms: float      # round-trip increase
+    energy_ratio: float             # policy energy / baseline energy
+    baseline_carbon_g: float
+    policy_carbon_g: float
+
+    def as_row(self) -> dict[str, float | str]:
+        """Row form used by experiment tables."""
+        return {
+            "policy": self.policy,
+            "carbon_savings_pct": round(self.carbon_savings_pct, 2),
+            "latency_increase_ms": round(self.latency_increase_ms, 2),
+            "energy_ratio": round(self.energy_ratio, 3),
+        }
+
+
+def compare_solutions(baseline: PlacementSolution, policy: PlacementSolution
+                      ) -> PolicyComparison:
+    """Compare a policy's solution against the baseline solution of the same problem."""
+    if baseline.problem is not policy.problem:
+        # Not strictly required, but the comparison only makes sense over the
+        # same batch of applications.
+        base_ids = {a.app_id for a in baseline.problem.applications}
+        pol_ids = {a.app_id for a in policy.problem.applications}
+        if base_ids != pol_ids:
+            raise ValueError("solutions compare different application batches")
+    base_carbon = baseline.total_carbon_g()
+    pol_carbon = policy.total_carbon_g()
+    base_energy = baseline.total_energy_j()
+    pol_energy = policy.total_energy_j()
+    # Round-trip increase = 2x the one-way mean difference.
+    latency_increase = 2.0 * (policy.mean_latency_ms() - baseline.mean_latency_ms())
+    return PolicyComparison(
+        policy=policy.policy_name or "policy",
+        baseline=baseline.policy_name or "baseline",
+        carbon_savings_pct=carbon_savings_pct(base_carbon, pol_carbon),
+        latency_increase_ms=latency_increase,
+        energy_ratio=(pol_energy / base_energy) if base_energy > 0 else 1.0,
+        baseline_carbon_g=base_carbon,
+        policy_carbon_g=pol_carbon,
+    )

@@ -1,0 +1,58 @@
+"""Carbon-intensity substrate.
+
+This package provides everything the placement policies need to reason about
+grid carbon intensity:
+
+* :mod:`repro.carbon.traces` — hourly carbon-intensity time series.
+* :mod:`repro.carbon.energy_mix` — the time-varying generation-mix model that
+  drives the synthetic traces (diurnal solar, seasonal hydro, stochastic wind).
+* :mod:`repro.carbon.synthetic` — the synthetic trace generator (Electricity
+  Maps stand-in).
+* :mod:`repro.carbon.service` — the carbon-intensity service (current value,
+  history, and forecasts) that CarbonEdge's placement service queries (Figure 6
+  step 0).
+* :mod:`repro.carbon.forecasting` — forecasters used by the service.
+* :mod:`repro.carbon.statistics` — spatial/temporal variation statistics used
+  by the Section-3 mesoscale analysis.
+"""
+
+from repro.carbon.traces import CarbonIntensityTrace, TraceSet
+from repro.carbon.energy_mix import MixTimeSeries, hourly_mix_profile, solar_capacity_factor
+from repro.carbon.synthetic import SyntheticTraceGenerator, generate_trace, generate_traces
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.forecasting import (
+    Forecaster,
+    PersistenceForecaster,
+    MovingAverageForecaster,
+    SeasonalNaiveForecaster,
+    OracleForecaster,
+)
+from repro.carbon.statistics import (
+    spatial_spread,
+    max_min_ratio,
+    pairwise_percentage_difference,
+    temporal_range,
+    monthly_means,
+)
+
+__all__ = [
+    "CarbonIntensityTrace",
+    "TraceSet",
+    "MixTimeSeries",
+    "hourly_mix_profile",
+    "solar_capacity_factor",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+    "generate_traces",
+    "CarbonIntensityService",
+    "Forecaster",
+    "PersistenceForecaster",
+    "MovingAverageForecaster",
+    "SeasonalNaiveForecaster",
+    "OracleForecaster",
+    "spatial_spread",
+    "max_min_ratio",
+    "pairwise_percentage_difference",
+    "temporal_range",
+    "monthly_means",
+]

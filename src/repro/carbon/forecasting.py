@@ -1,0 +1,98 @@
+"""Carbon-intensity forecasters.
+
+The paper's carbon-intensity service "periodically predicts the carbon
+intensity of all data centers" (Figure 6, step 0) and the placement objective
+uses the *average of the forecast* intensity values over the placement horizon
+(Section 4.2, definition of Ī_j). The forecasters here provide that average:
+
+* :class:`OracleForecaster` — perfect foresight (replays the trace), the
+  default used by the evaluation since the paper replays historical traces.
+* :class:`PersistenceForecaster` — tomorrow looks like right now.
+* :class:`MovingAverageForecaster` — trailing-window average.
+* :class:`SeasonalNaiveForecaster` — same hours yesterday (24 h seasonality).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.traces import CarbonIntensityTrace
+
+
+class Forecaster(ABC):
+    """Interface for horizon forecasts over one zone's intensity trace."""
+
+    @abstractmethod
+    def forecast(self, trace: CarbonIntensityTrace, now_hour: int, horizon_hours: int) -> np.ndarray:
+        """Forecast the next ``horizon_hours`` hourly intensities starting at ``now_hour``."""
+
+    def forecast_mean(self, trace: CarbonIntensityTrace, now_hour: int, horizon_hours: int) -> float:
+        """Mean of the horizon forecast (the Ī_j the placement objective uses)."""
+        if horizon_hours <= 0:
+            raise ValueError(f"horizon_hours must be positive, got {horizon_hours}")
+        return float(self.forecast(trace, now_hour, horizon_hours).mean())
+
+
+@dataclass
+class OracleForecaster(Forecaster):
+    """Perfect-foresight forecaster: returns the actual future trace values."""
+
+    def forecast(self, trace: CarbonIntensityTrace, now_hour: int, horizon_hours: int) -> np.ndarray:
+        return trace.window(now_hour, horizon_hours)
+
+
+@dataclass
+class PersistenceForecaster(Forecaster):
+    """Persistence forecast: every future hour equals the current intensity."""
+
+    def forecast(self, trace: CarbonIntensityTrace, now_hour: int, horizon_hours: int) -> np.ndarray:
+        return np.full(int(horizon_hours), trace.at(now_hour))
+
+
+@dataclass
+class MovingAverageForecaster(Forecaster):
+    """Trailing moving-average forecast.
+
+    Parameters
+    ----------
+    window_hours:
+        Number of trailing hours averaged to produce the (flat) forecast.
+    """
+
+    window_hours: int = 24
+
+    def __post_init__(self) -> None:
+        if self.window_hours <= 0:
+            raise ValueError(f"window_hours must be positive, got {self.window_hours}")
+
+    def forecast(self, trace: CarbonIntensityTrace, now_hour: int, horizon_hours: int) -> np.ndarray:
+        start = int(now_hour) - self.window_hours + 1
+        history = trace.window(start, self.window_hours)
+        return np.full(int(horizon_hours), float(history.mean()))
+
+
+@dataclass
+class SeasonalNaiveForecaster(Forecaster):
+    """Seasonal-naive forecast: hour ``t`` tomorrow equals hour ``t`` today.
+
+    Parameters
+    ----------
+    season_hours:
+        Seasonal period; 24 replays the previous day, 168 the previous week.
+    """
+
+    season_hours: int = 24
+
+    def __post_init__(self) -> None:
+        if self.season_hours <= 0:
+            raise ValueError(f"season_hours must be positive, got {self.season_hours}")
+
+    def forecast(self, trace: CarbonIntensityTrace, now_hour: int, horizon_hours: int) -> np.ndarray:
+        horizon = int(horizon_hours)
+        offsets = np.arange(horizon)
+        source_hours = int(now_hour) - self.season_hours + offsets % self.season_hours
+        idx = source_hours % len(trace)
+        return trace.values[idx]

@@ -1,0 +1,87 @@
+"""Spatial and temporal carbon-intensity statistics.
+
+These are the aggregate quantities reported in the paper's Section 3 analysis:
+per-hour spatial spreads across a region's zones (Figure 2), yearly max/min
+ratios (Figure 3: 2.7x in the West US, 10.8x in Central EU), temporal ranges
+within a day or across months (Figure 4), and pairwise percentage savings used
+for the radius analysis (Figure 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.carbon.traces import TraceSet
+from repro.utils.timeutils import MONTH_NAMES
+
+
+def spatial_spread(traces: TraceSet, zone_ids: list[str], hour: int) -> dict[str, float]:
+    """Spatial statistics of the zone intensities at one hour.
+
+    Returns a dict with ``min``, ``max``, ``ratio`` (max/min), and ``range``.
+    """
+    values = traces.at(hour, zone_ids)
+    lo, hi = float(values.min()), float(values.max())
+    return {
+        "min": lo,
+        "max": hi,
+        "ratio": hi / lo if lo > 0 else float("inf"),
+        "range": hi - lo,
+    }
+
+
+def max_min_ratio(traces: TraceSet, zone_ids: list[str]) -> float:
+    """Ratio of the highest to the lowest *yearly mean* intensity across zones.
+
+    This is the statistic the paper reports as 2.7x (West US) and 10.8x
+    (Central EU) in Figure 3.
+    """
+    means = np.array([traces.get(z).mean() for z in zone_ids])
+    lo = float(means.min())
+    return float(means.max()) / lo if lo > 0 else float("inf")
+
+
+def pairwise_percentage_difference(traces: TraceSet, zone_a: str, zone_b: str) -> float:
+    """Mean percentage reduction achievable by running in ``zone_b`` instead of ``zone_a``.
+
+    Defined as ``(mean(a) - mean(b)) / mean(a) * 100``; positive when zone_b is
+    greener than zone_a.
+    """
+    mean_a = traces.get(zone_a).mean()
+    mean_b = traces.get(zone_b).mean()
+    if mean_a <= 0:
+        return 0.0
+    return (mean_a - mean_b) / mean_a * 100.0
+
+
+def temporal_range(traces: TraceSet, zone_id: str, start_hour: int, n_hours: int) -> float:
+    """Max-minus-min intensity of one zone over a time window (Figure 4a statistic)."""
+    window = traces.get(zone_id).window(start_hour, n_hours)
+    return float(window.max() - window.min())
+
+
+def monthly_means(traces: TraceSet, zone_id: str) -> dict[str, float]:
+    """Mean intensity per calendar month for one zone (Figure 4b series)."""
+    trace = traces.get(zone_id)
+    return {MONTH_NAMES[m - 1]: trace.monthly_mean(m) for m in range(1, 13)}
+
+
+def coefficient_of_variation(traces: TraceSet, zone_id: str) -> float:
+    """Coefficient of variation (std/mean) of one zone's intensity series."""
+    values = traces.get(zone_id).values
+    mean = float(values.mean())
+    return float(values.std()) / mean if mean > 0 else 0.0
+
+
+def regional_summary(traces: TraceSet, zone_ids: list[str]) -> dict[str, dict[str, float]]:
+    """Per-zone summary (mean/min/max/cv) for a region's zones."""
+    out: dict[str, dict[str, float]] = {}
+    for z in zone_ids:
+        t = traces.get(z)
+        out[z] = {
+            "mean": t.mean(),
+            "min": t.min(),
+            "max": t.max(),
+            "cv": coefficient_of_variation(traces, z),
+        }
+    return out

@@ -1,0 +1,171 @@
+"""Hourly carbon-intensity time series.
+
+A :class:`CarbonIntensityTrace` is an hour-indexed series of grid carbon
+intensity values (g CO2eq/kWh) for one carbon zone, mirroring the Electricity
+Maps export format the paper consumes. A :class:`TraceSet` is a keyed
+collection of traces over the same hour axis, which is what the carbon
+intensity service and the mesoscale analysis operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.utils.timeutils import month_slice
+from repro.utils.units import HOURS_PER_YEAR
+
+
+@dataclass
+class CarbonIntensityTrace:
+    """Hourly carbon-intensity series for a single carbon zone.
+
+    Parameters
+    ----------
+    zone_id:
+        Identifier of the zone the series belongs to.
+    values:
+        1-D array of intensity values in g CO2eq/kWh; index ``h`` is
+        hour-of-year ``h`` (hour 0 = Jan 1, 00:00).
+    """
+
+    zone_id: str
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=float)
+        if self.values.ndim != 1:
+            raise ValueError(f"trace values must be 1-D, got shape {self.values.shape}")
+        if len(self.values) == 0:
+            raise ValueError("trace must contain at least one hour")
+        if np.any(~np.isfinite(self.values)):
+            raise ValueError(f"trace for {self.zone_id} contains non-finite values")
+        if np.any(self.values < 0):
+            raise ValueError(f"trace for {self.zone_id} contains negative intensities")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def at(self, hour: int) -> float:
+        """Intensity at hour-of-year ``hour`` (wraps around the trace length)."""
+        return float(self.values[int(hour) % len(self.values)])
+
+    def window(self, start_hour: int, n_hours: int) -> np.ndarray:
+        """Intensity values for ``n_hours`` starting at ``start_hour`` (wrapping)."""
+        if n_hours <= 0:
+            raise ValueError(f"n_hours must be positive, got {n_hours}")
+        idx = (int(start_hour) + np.arange(int(n_hours))) % len(self.values)
+        return self.values[idx]
+
+    def mean(self) -> float:
+        """Mean intensity over the whole trace."""
+        return float(self.values.mean())
+
+    def min(self) -> float:
+        """Minimum intensity over the whole trace."""
+        return float(self.values.min())
+
+    def max(self) -> float:
+        """Maximum intensity over the whole trace."""
+        return float(self.values.max())
+
+    def monthly_mean(self, month: int) -> float:
+        """Mean intensity over the one-based month ``month``.
+
+        Requires a full-year (8760 h) trace.
+        """
+        if len(self.values) < HOURS_PER_YEAR:
+            raise ValueError("monthly_mean requires a full-year trace")
+        return float(self.values[month_slice(month)].mean())
+
+    def daily_profile(self) -> np.ndarray:
+        """Average intensity per hour of day (length-24 array)."""
+        n_full_days = len(self.values) // 24
+        if n_full_days == 0:
+            raise ValueError("daily_profile requires at least 24 hours of data")
+        return self.values[: n_full_days * 24].reshape(n_full_days, 24).mean(axis=0)
+
+    def rolling_mean(self, window_hours: int) -> np.ndarray:
+        """Trailing rolling mean with the given window (same length as the trace)."""
+        if window_hours <= 0:
+            raise ValueError(f"window_hours must be positive, got {window_hours}")
+        kernel = np.ones(window_hours) / window_hours
+        padded = np.concatenate([np.full(window_hours - 1, self.values[0]), self.values])
+        return np.convolve(padded, kernel, mode="valid")
+
+
+@dataclass
+class TraceSet:
+    """A keyed collection of carbon-intensity traces sharing the same hour axis."""
+
+    traces: dict[str, CarbonIntensityTrace] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {len(t) for t in self.traces.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"all traces in a TraceSet must share a length, got {lengths}")
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.traces)
+
+    def __contains__(self, zone_id: str) -> bool:
+        return zone_id in self.traces
+
+    def get(self, zone_id: str) -> CarbonIntensityTrace:
+        """Return the trace for ``zone_id`` or raise :class:`KeyError`."""
+        try:
+            return self.traces[zone_id]
+        except KeyError:
+            raise KeyError(f"no carbon trace for zone {zone_id!r}") from None
+
+    def add(self, trace: CarbonIntensityTrace) -> None:
+        """Add a trace, enforcing the shared hour axis."""
+        if self.traces:
+            expected = len(next(iter(self.traces.values())))
+            if len(trace) != expected:
+                raise ValueError(
+                    f"trace length {len(trace)} does not match TraceSet length {expected}")
+        self.traces[trace.zone_id] = trace
+
+    def zone_ids(self) -> list[str]:
+        """Sorted zone ids present in the set."""
+        return sorted(self.traces)
+
+    @property
+    def n_hours(self) -> int:
+        """Number of hours covered by every trace in the set (0 when empty)."""
+        if not self.traces:
+            return 0
+        return len(next(iter(self.traces.values())))
+
+    def matrix(self, zone_ids: list[str] | None = None) -> np.ndarray:
+        """(Z, H) matrix of intensities for the given zones (all, sorted, by default)."""
+        ids = zone_ids if zone_ids is not None else self.zone_ids()
+        return np.vstack([self.get(z).values for z in ids])
+
+    def at(self, hour: int, zone_ids: list[str] | None = None) -> np.ndarray:
+        """Vector of intensities at a given hour for the selected zones."""
+        ids = zone_ids if zone_ids is not None else self.zone_ids()
+        return np.array([self.get(z).at(hour) for z in ids], dtype=float)
+
+    def means(self, zone_ids: list[str] | None = None) -> dict[str, float]:
+        """Mapping of zone id to mean intensity."""
+        ids = zone_ids if zone_ids is not None else self.zone_ids()
+        return {z: self.get(z).mean() for z in ids}
+
+    def subset(self, zone_ids: list[str]) -> "TraceSet":
+        """A new TraceSet restricted to ``zone_ids``."""
+        return TraceSet(traces={z: self.get(z) for z in zone_ids})
+
+    @classmethod
+    def from_mapping(cls, values: Mapping[str, np.ndarray]) -> "TraceSet":
+        """Build a TraceSet from a mapping of zone id to value arrays."""
+        ts = cls()
+        for zone_id, arr in values.items():
+            ts.add(CarbonIntensityTrace(zone_id=zone_id, values=np.asarray(arr, dtype=float)))
+        return ts

@@ -1,0 +1,84 @@
+"""Edge data center: a site-local group of edge servers.
+
+Each mesoscale city in the paper hosts one edge data center (Section 3.1); in
+the CDN-scale evaluation each Akamai site is a data center. A data center has a
+location (city + coordinates), a carbon zone, and a set of servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer
+
+
+@dataclass
+class EdgeDataCenter:
+    """An edge data center at one site."""
+
+    site: str
+    zone_id: str
+    lat: float
+    lon: float
+    servers: list[EdgeServer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for server in self.servers:
+            self._check_server(server)
+
+    def _check_server(self, server: EdgeServer) -> None:
+        if server.site != self.site:
+            raise ValueError(
+                f"server {server.server_id} has site {server.site!r}, expected {self.site!r}")
+        if server.zone_id != self.zone_id:
+            raise ValueError(
+                f"server {server.server_id} has zone {server.zone_id!r}, expected {self.zone_id!r}")
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __iter__(self) -> Iterator[EdgeServer]:
+        return iter(self.servers)
+
+    def add_server(self, server: EdgeServer) -> None:
+        """Add a server, validating its site/zone consistency."""
+        self._check_server(server)
+        if any(s.server_id == server.server_id for s in self.servers):
+            raise ValueError(f"duplicate server id {server.server_id!r} in {self.site}")
+        self.servers.append(server)
+
+    def server(self, server_id: str) -> EdgeServer:
+        """Look up a server by id."""
+        for s in self.servers:
+            if s.server_id == server_id:
+                return s
+        raise KeyError(f"no server {server_id!r} in data center {self.site!r}")
+
+    @property
+    def coordinates(self) -> tuple[float, float]:
+        """(latitude, longitude) of the site."""
+        return (self.lat, self.lon)
+
+    def total_capacity(self) -> ResourceVector:
+        """Aggregate capacity of all servers in the data center."""
+        total = ResourceVector()
+        for s in self.servers:
+            total = total + s.total_capacity
+        return total
+
+    def available_capacity(self) -> ResourceVector:
+        """Aggregate available capacity of all servers."""
+        total = ResourceVector()
+        for s in self.servers:
+            total = total + s.available_capacity
+        return total
+
+    def powered_on_servers(self) -> list[EdgeServer]:
+        """Servers that are currently powered on."""
+        return [s for s in self.servers if s.is_on]
+
+    def base_power_w(self) -> float:
+        """Aggregate base power of powered-on servers."""
+        return sum(s.base_power_w for s in self.powered_on_servers())

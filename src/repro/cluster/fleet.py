@@ -1,0 +1,187 @@
+"""Edge fleets: collections of edge data centers plus builders for the paper's setups.
+
+Two builders mirror the paper's two deployment scenarios:
+
+* :func:`build_regional_fleet` — a five-city mesoscale deployment (one server
+  per city, Dell R630 + NVIDIA A2), matching the testbed of Section 6.1.2.
+* :func:`build_cdn_fleet` — a CDN-scale fleet with one data center per CDN
+  site, used by the year-long simulations of Section 6.3. Capacity can be
+  homogeneous or population-proportional (Section 6.3.4), and the accelerator
+  type can be fixed or mixed (Section 6.3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.cluster.hardware import DEVICE_CATALOG, DeviceSpec, NVIDIA_A2, XEON_E5_2660V3
+from repro.cluster.datacenter import EdgeDataCenter
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer, PowerState
+from repro.datasets.akamai import CDNFootprint
+from repro.datasets.cities import CityCatalog, default_city_catalog
+from repro.datasets.regions import MesoscaleRegion
+from repro.utils.rng import substream
+
+
+@dataclass
+class EdgeFleet:
+    """A named collection of edge data centers with server lookup helpers."""
+
+    name: str
+    datacenters: list[EdgeDataCenter] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        sites = [dc.site for dc in self.datacenters]
+        if len(set(sites)) != len(sites):
+            dupes = sorted({s for s in sites if sites.count(s) > 1})
+            raise ValueError(f"duplicate data-center sites in fleet {self.name!r}: {dupes}")
+
+    def __len__(self) -> int:
+        return len(self.datacenters)
+
+    def __iter__(self) -> Iterator[EdgeDataCenter]:
+        return iter(self.datacenters)
+
+    def sites(self) -> list[str]:
+        """Site names of all data centers."""
+        return [dc.site for dc in self.datacenters]
+
+    def datacenter(self, site: str) -> EdgeDataCenter:
+        """Look up a data center by site name."""
+        for dc in self.datacenters:
+            if dc.site == site:
+                return dc
+        raise KeyError(f"no data center at site {site!r} in fleet {self.name!r}")
+
+    def servers(self) -> list[EdgeServer]:
+        """All servers across the fleet, in data-center order."""
+        return [s for dc in self.datacenters for s in dc.servers]
+
+    def server(self, server_id: str) -> EdgeServer:
+        """Look up a server anywhere in the fleet by id."""
+        for dc in self.datacenters:
+            for s in dc.servers:
+                if s.server_id == server_id:
+                    return s
+        raise KeyError(f"no server {server_id!r} in fleet {self.name!r}")
+
+    def zone_ids(self) -> list[str]:
+        """Sorted unique carbon zones covered by the fleet."""
+        return sorted({dc.zone_id for dc in self.datacenters})
+
+    def site_coordinates(self) -> np.ndarray:
+        """(N, 2) array of [lat, lon] per data center, in fleet order."""
+        return np.array([[dc.lat, dc.lon] for dc in self.datacenters], dtype=float)
+
+    def total_capacity(self) -> ResourceVector:
+        """Aggregate capacity across the fleet."""
+        total = ResourceVector()
+        for dc in self.datacenters:
+            total = total + dc.total_capacity()
+        return total
+
+    def reset_allocations(self, power_state: PowerState = PowerState.OFF) -> None:
+        """Clear all allocations and set every server to the given power state."""
+        for server in self.servers():
+            server.allocations.clear()
+            server.power_state = power_state
+
+
+def build_regional_fleet(
+    region: MesoscaleRegion,
+    servers_per_site: int = 1,
+    accelerator: DeviceSpec | None = NVIDIA_A2,
+    cpu: DeviceSpec = XEON_E5_2660V3,
+    catalog: CityCatalog | None = None,
+    powered_on: bool = True,
+) -> EdgeFleet:
+    """Build a mesoscale regional fleet with one data center per region city."""
+    if servers_per_site <= 0:
+        raise ValueError(f"servers_per_site must be positive, got {servers_per_site}")
+    catalog = catalog or default_city_catalog()
+    datacenters: list[EdgeDataCenter] = []
+    for city in region.cities(catalog):
+        dc = EdgeDataCenter(site=city.name, zone_id=city.zone_id, lat=city.lat, lon=city.lon)
+        for k in range(servers_per_site):
+            dc.add_server(EdgeServer(
+                server_id=f"{city.name.replace(' ', '_')}-srv{k:02d}",
+                site=city.name,
+                zone_id=city.zone_id,
+                cpu=cpu,
+                accelerator=accelerator,
+                power_state=PowerState.ON if powered_on else PowerState.OFF,
+            ))
+        datacenters.append(dc)
+    return EdgeFleet(name=f"{region.name} regional fleet", datacenters=datacenters)
+
+
+def build_cdn_fleet(
+    footprint: CDNFootprint,
+    servers_per_site: int = 1,
+    accelerator: DeviceSpec | None = NVIDIA_A2,
+    accelerator_mix: Sequence[str] | None = None,
+    capacity_weights: dict[str, float] | None = None,
+    max_servers_per_site: int = 8,
+    cpu: DeviceSpec = XEON_E5_2660V3,
+    powered_on: bool = True,
+    seed: int = 0,
+) -> EdgeFleet:
+    """Build a CDN-scale fleet with one data center per (deduplicated) CDN site.
+
+    Parameters
+    ----------
+    footprint:
+        CDN footprint; multiple sites in the same city are collapsed into one
+        data center (paper integration step 4).
+    servers_per_site:
+        Baseline number of servers per data center.
+    accelerator:
+        Accelerator installed in every server when ``accelerator_mix`` is None.
+    accelerator_mix:
+        Optional sequence of device names; each server draws its accelerator
+        uniformly from this list (the "Hetero." configuration of Figure 15).
+    capacity_weights:
+        Optional per-city weights (e.g. population shares); the number of
+        servers at a site is scaled by its weight relative to the mean weight,
+        clamped to [1, max_servers_per_site] (Section 6.3.4 capacity scenario).
+    max_servers_per_site:
+        Upper bound on servers per site when capacity weights are used.
+    """
+    if servers_per_site <= 0:
+        raise ValueError(f"servers_per_site must be positive, got {servers_per_site}")
+    deduplicated = footprint.one_per_city()
+    rng = substream(seed, "cdn-fleet-accelerators")
+    mean_weight = None
+    if capacity_weights:
+        mean_weight = float(np.mean(list(capacity_weights.values())))
+        if mean_weight <= 0:
+            raise ValueError("capacity_weights must have a positive mean")
+
+    datacenters: list[EdgeDataCenter] = []
+    for site in deduplicated:
+        n_servers = servers_per_site
+        if capacity_weights is not None and mean_weight:
+            weight = capacity_weights.get(site.city_name, mean_weight)
+            n_servers = int(np.clip(round(servers_per_site * weight / mean_weight),
+                                    1, max_servers_per_site))
+        dc = EdgeDataCenter(site=site.city_name, zone_id=site.zone_id,
+                            lat=site.lat, lon=site.lon)
+        for k in range(n_servers):
+            if accelerator_mix:
+                device = DEVICE_CATALOG[str(accelerator_mix[int(rng.integers(len(accelerator_mix)))])]
+            else:
+                device = accelerator
+            dc.add_server(EdgeServer(
+                server_id=f"{site.city_name.replace(' ', '_')}-srv{k:02d}",
+                site=site.city_name,
+                zone_id=site.zone_id,
+                cpu=cpu,
+                accelerator=device,
+                power_state=PowerState.ON if powered_on else PowerState.OFF,
+            ))
+        datacenters.append(dc)
+    return EdgeFleet(name="CDN fleet", datacenters=datacenters)

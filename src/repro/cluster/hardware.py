@@ -1,0 +1,111 @@
+"""Hardware catalogue for the paper's edge devices.
+
+The testbed (Section 6.1.2) uses Dell PowerEdge R630 servers (40-core Xeon
+E5-2660v3, 256 GB RAM) with NVIDIA A2 GPUs, while the heterogeneity study
+(Section 6.3.5) adds the NVIDIA Jetson Orin Nano and the GTX 1080. Each device
+spec carries its capacity vector and power envelope; per-workload energy and
+latency come from :mod:`repro.workloads.profiles`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of an edge device (CPU host or accelerator).
+
+    Parameters
+    ----------
+    name:
+        Catalogue name, e.g. ``"NVIDIA A2"``.
+    kind:
+        ``"cpu"`` or ``"gpu"``.
+    capacity:
+        Resource capacity contributed by the device.
+    idle_power_w:
+        Power draw when powered on but idle (the base power B_j of Equation 6
+        when the device is the server's main power consumer).
+    max_power_w:
+        Power draw at full utilisation.
+    cuda_cores:
+        Number of CUDA cores (0 for CPU hosts); informational.
+    """
+
+    name: str
+    kind: str
+    capacity: ResourceVector
+    idle_power_w: float
+    max_power_w: float
+    cuda_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu"):
+            raise ValueError(f"device kind must be 'cpu' or 'gpu', got {self.kind!r}")
+        if self.idle_power_w < 0 or self.max_power_w <= 0:
+            raise ValueError(f"invalid power envelope for {self.name}")
+        if self.idle_power_w > self.max_power_w:
+            raise ValueError(
+                f"{self.name}: idle power {self.idle_power_w} exceeds max {self.max_power_w}")
+
+    @property
+    def dynamic_power_range_w(self) -> float:
+        """Power headroom between idle and full utilisation."""
+        return self.max_power_w - self.idle_power_w
+
+
+#: Dell PowerEdge R630 host CPU used by every testbed server.
+XEON_E5_2660V3 = DeviceSpec(
+    name="Xeon E5-2660v3",
+    kind="cpu",
+    capacity=ResourceVector.of(cpu_cores=40, memory_mb=256_000),
+    idle_power_w=105.0,
+    max_power_w=285.0,
+)
+
+#: NVIDIA A2 (testbed GPU): 1280 CUDA cores, 16 GB, 60 W.
+NVIDIA_A2 = DeviceSpec(
+    name="NVIDIA A2",
+    kind="gpu",
+    capacity=ResourceVector.of(gpu_memory_mb=16_000),
+    idle_power_w=8.0,
+    max_power_w=60.0,
+    cuda_cores=1280,
+)
+
+#: NVIDIA Jetson Orin Nano: 1024 CUDA cores, 8 GB, 15 W.
+ORIN_NANO = DeviceSpec(
+    name="Orin Nano",
+    kind="gpu",
+    capacity=ResourceVector.of(gpu_memory_mb=8_000),
+    idle_power_w=2.0,
+    max_power_w=15.0,
+    cuda_cores=1024,
+)
+
+#: NVIDIA GTX 1080: 2560 CUDA cores, 8 GB, 180 W.
+GTX_1080 = DeviceSpec(
+    name="GTX 1080",
+    kind="gpu",
+    capacity=ResourceVector.of(gpu_memory_mb=8_000),
+    idle_power_w=10.0,
+    max_power_w=180.0,
+    cuda_cores=2560,
+)
+
+#: All devices the library knows about, keyed by name.
+DEVICE_CATALOG: dict[str, DeviceSpec] = {
+    spec.name: spec for spec in (XEON_E5_2660V3, NVIDIA_A2, ORIN_NANO, GTX_1080)
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a device spec by its catalogue name."""
+    try:
+        return DEVICE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known devices: {sorted(DEVICE_CATALOG)}") from None

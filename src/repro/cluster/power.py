@@ -1,0 +1,103 @@
+"""Server power models.
+
+Carbon emissions in the placement objective (Equation 6) have two components:
+application operation (dynamic energy × intensity) and server activation (base
+power × intensity). The power models here provide both pieces: a server's base
+(idle) power when on, and the dynamic power as a function of utilisation. They
+also serve as the RAPL/DCGM stand-in for the emulated testbed's power
+monitoring.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.utils.validation import require_in_range, require_non_negative
+
+
+class PowerModel(ABC):
+    """Interface mapping utilisation (0–1) to instantaneous power draw (watts)."""
+
+    @property
+    @abstractmethod
+    def idle_power_w(self) -> float:
+        """Power draw at zero utilisation while powered on."""
+
+    @property
+    @abstractmethod
+    def max_power_w(self) -> float:
+        """Power draw at full utilisation."""
+
+    @abstractmethod
+    def power_w(self, utilization: float) -> float:
+        """Instantaneous power at the given utilisation in [0, 1]."""
+
+    def energy_j(self, utilization: float, duration_s: float) -> float:
+        """Energy over ``duration_s`` seconds at constant utilisation."""
+        require_non_negative(duration_s, "duration_s")
+        return self.power_w(utilization) * float(duration_s)
+
+    def dynamic_energy_j(self, utilization: float, duration_s: float) -> float:
+        """Energy above idle over ``duration_s`` seconds at constant utilisation."""
+        require_non_negative(duration_s, "duration_s")
+        return (self.power_w(utilization) - self.idle_power_w) * float(duration_s)
+
+
+@dataclass(frozen=True)
+class LinearPowerModel(PowerModel):
+    """Power grows linearly from idle to max with utilisation (the common model)."""
+
+    idle_w: float
+    max_w: float
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.idle_w, "idle_w")
+        if self.max_w < self.idle_w:
+            raise ValueError(f"max_w ({self.max_w}) must be >= idle_w ({self.idle_w})")
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.idle_w
+
+    @property
+    def max_power_w(self) -> float:
+        return self.max_w
+
+    def power_w(self, utilization: float) -> float:
+        u = require_in_range(utilization, 0.0, 1.0, "utilization")
+        return self.idle_w + (self.max_w - self.idle_w) * u
+
+
+@dataclass(frozen=True)
+class IdleProportionalPowerModel(PowerModel):
+    """Power model with a non-linear (sub-linear) dynamic component.
+
+    Real servers are not perfectly power-proportional: the marginal power per
+    unit utilisation falls off at high load. This model raises utilisation to
+    ``exponent`` (< 1) before the linear interpolation, which matches measured
+    server curves better and is used in the ablation benchmarks.
+    """
+
+    idle_w: float
+    max_w: float
+    exponent: float = 0.8
+
+    def __post_init__(self) -> None:
+        require_non_negative(self.idle_w, "idle_w")
+        if self.max_w < self.idle_w:
+            raise ValueError(f"max_w ({self.max_w}) must be >= idle_w ({self.idle_w})")
+        if not 0 < self.exponent <= 1:
+            raise ValueError(f"exponent must be in (0, 1], got {self.exponent}")
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.idle_w
+
+    @property
+    def max_power_w(self) -> float:
+        return self.max_w
+
+    def power_w(self, utilization: float) -> float:
+        u = require_in_range(utilization, 0.0, 1.0, "utilization")
+        return self.idle_w + (self.max_w - self.idle_w) * (u ** self.exponent)

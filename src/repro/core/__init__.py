@@ -1,0 +1,64 @@
+"""CarbonEdge core: the carbon-aware placement problem, policies, and algorithm.
+
+This package is the paper's primary contribution (Section 4):
+
+* :mod:`repro.core.problem` — the placement problem instance (applications,
+  servers, latency/energy/intensity matrices; Table 2 inputs).
+* :mod:`repro.core.solution` — placement/power decisions plus their carbon,
+  energy, and latency accounting (Equation 6).
+* :mod:`repro.core.objective` — carbon, energy, and multi-objective (Equation 8)
+  objective builders.
+* :mod:`repro.core.model_builder` — translation of a problem into the MILP of
+  Equations 1–7.
+* :mod:`repro.core.filters` — feasible-server filtering (Algorithm 1, line 7).
+* :mod:`repro.core.policies` — CarbonEdge and the paper's baselines
+  (Latency-aware, Energy-aware, Intensity-aware).
+* :mod:`repro.core.incremental` — the incremental placement loop (Algorithm 1).
+* :mod:`repro.core.validation` — solution validation against the constraints.
+"""
+
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution, Assignment
+from repro.core.objective import (
+    ObjectiveKind,
+    carbon_objective_coefficients,
+    energy_objective_coefficients,
+    multi_objective_coefficients,
+)
+from repro.core.model_builder import build_placement_model
+from repro.core.filters import filter_feasible_servers, FeasibilityReport
+from repro.core.validation import validate_solution, ValidationError
+from repro.core.incremental import IncrementalPlacer, PlacementRound
+from repro.core.policies import (
+    PlacementPolicy,
+    CarbonEdgePolicy,
+    LatencyAwarePolicy,
+    EnergyAwarePolicy,
+    IntensityAwarePolicy,
+    GreedyCarbonPolicy,
+    RandomPolicy,
+)
+
+__all__ = [
+    "PlacementProblem",
+    "PlacementSolution",
+    "Assignment",
+    "ObjectiveKind",
+    "carbon_objective_coefficients",
+    "energy_objective_coefficients",
+    "multi_objective_coefficients",
+    "build_placement_model",
+    "filter_feasible_servers",
+    "FeasibilityReport",
+    "validate_solution",
+    "ValidationError",
+    "IncrementalPlacer",
+    "PlacementRound",
+    "PlacementPolicy",
+    "CarbonEdgePolicy",
+    "LatencyAwarePolicy",
+    "EnergyAwarePolicy",
+    "IntensityAwarePolicy",
+    "GreedyCarbonPolicy",
+    "RandomPolicy",
+]

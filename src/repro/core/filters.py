@@ -1,0 +1,63 @@
+"""Feasible-server filtering (Algorithm 1, line 7).
+
+Before solving the optimisation, CarbonEdge prunes servers that cannot host an
+application: pairs violating the latency SLO, pairs without a workload profile
+for the server's device, and (optionally) pairs whose demand exceeds the
+server's available capacity on its own. The filter also reports applications
+with an empty candidate set, which the policies record as unplaceable rather
+than failing the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import PlacementProblem
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of feasible-server filtering for one problem."""
+
+    #: (A, S) mask of pairs that remain candidates.
+    mask: np.ndarray
+    #: Indices of applications with no candidate server at all.
+    unplaceable: list[int]
+    #: Indices of servers that are a candidate for at least one application.
+    useful_servers: list[int]
+
+    @property
+    def n_candidate_pairs(self) -> int:
+        """Number of (application, server) pairs that survived the filter."""
+        return int(self.mask.sum())
+
+    def candidates_for(self, app_index: int) -> np.ndarray:
+        """Server indices that are candidates for one application."""
+        return np.flatnonzero(self.mask[app_index])
+
+
+def filter_feasible_servers(problem: PlacementProblem,
+                            check_capacity: bool = True) -> FeasibilityReport:
+    """Apply latency, profile-support, and (optional) standalone capacity filters.
+
+    Parameters
+    ----------
+    problem:
+        The placement problem.
+    check_capacity:
+        Also drop pairs whose single-application demand already exceeds the
+        server's available capacity. (Aggregate capacity is still enforced by
+        the optimisation; this filter just shrinks the search space.)
+    """
+    mask = problem.feasible_mask().copy()
+    if check_capacity:
+        for i in range(problem.n_applications):
+            for j in np.flatnonzero(mask[i]):
+                demand = problem.demands[i][int(j)]
+                if not demand.fits_within(problem.capacities[int(j)]):
+                    mask[i, int(j)] = False
+    unplaceable = [i for i in range(problem.n_applications) if not mask[i].any()]
+    useful = sorted(set(np.flatnonzero(mask.any(axis=0)).tolist()))
+    return FeasibilityReport(mask=mask, unplaceable=unplaceable, useful_servers=useful)

@@ -1,0 +1,124 @@
+"""Incremental placement (Algorithm 1).
+
+:class:`IncrementalPlacer` is the paper's placement service loop: applications
+arrive in batches (the prototype batches deployment requests every few
+minutes); for every batch it
+
+1. computes the application–server latency matrix (line 1–6),
+2. filters servers violating latency constraints (line 7 — done inside the
+   policies via the feasibility mask),
+3. reads server telemetry — available capacity, base power, current power
+   state — and the forecast mean carbon intensity (line 8),
+4. solves the placement optimisation (line 9),
+5. commits the resource allocation and power-state transitions so the next
+   batch sees the updated state (line 10).
+
+The placer owns no policy logic; it wires fleet state, the carbon-intensity
+service, and the latency matrix into :class:`~repro.core.problem.PlacementProblem`
+instances and applies the returned solutions to the fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.carbon.service import CarbonIntensityService
+from repro.cluster.fleet import EdgeFleet
+from repro.core.policies.base import PlacementPolicy
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+from repro.core.validation import validate_solution
+from repro.network.latency import LatencyMatrix
+from repro.workloads.application import Application
+
+
+@dataclass
+class PlacementRound:
+    """Record of one incremental placement round."""
+
+    hour: int
+    solution: PlacementSolution
+    committed: bool
+
+
+@dataclass
+class IncrementalPlacer:
+    """Drives a placement policy over batches of arriving applications.
+
+    Parameters
+    ----------
+    fleet:
+        The edge fleet whose servers receive the applications; its allocation
+        and power state is mutated as batches commit.
+    latency:
+        One-way latency matrix covering all fleet sites and application source
+        sites.
+    carbon:
+        Carbon-intensity service for Ī_j.
+    policy:
+        The placement policy to run each round.
+    horizon_hours:
+        Placement horizon handed to the problem builder.
+    validate:
+        Validate every solution against the constraints before committing.
+    """
+
+    fleet: EdgeFleet
+    latency: LatencyMatrix
+    carbon: CarbonIntensityService
+    policy: PlacementPolicy
+    horizon_hours: float = 1.0
+    validate: bool = True
+    use_forecast: bool = True
+    history: list[PlacementRound] = field(default_factory=list)
+
+    def build_problem(self, applications: list[Application], hour: int) -> PlacementProblem:
+        """Assemble the placement problem for one batch from current fleet state."""
+        return PlacementProblem.build(
+            applications=applications,
+            servers=self.fleet.servers(),
+            latency=self.latency,
+            carbon=self.carbon,
+            hour=hour,
+            horizon_hours=self.horizon_hours,
+            use_forecast=self.use_forecast,
+        )
+
+    def place_batch(self, applications: list[Application], hour: int,
+                    commit: bool = True) -> PlacementSolution:
+        """Place one batch of applications and (optionally) commit it to the fleet."""
+        if not applications:
+            raise ValueError("place_batch requires at least one application")
+        problem = self.build_problem(applications, hour)
+        solution = self.policy.timed_place(problem)
+        if self.validate:
+            validate_solution(solution, strict=True)
+        if commit:
+            self.commit(solution)
+        self.history.append(PlacementRound(hour=hour, solution=solution, committed=commit))
+        return solution
+
+    def commit(self, solution: PlacementSolution) -> None:
+        """Apply a solution's power and allocation decisions to the fleet."""
+        problem = solution.problem
+        # Power transitions first so allocation on newly-on servers succeeds.
+        for j, server in enumerate(problem.servers):
+            if solution.power_on[j] > 0.5 and not server.is_on:
+                server.power_on()
+        for app_id, j in solution.placements.items():
+            i = problem.app_index(app_id)
+            problem.servers[j].allocate(app_id, problem.demands[i][j])
+
+    def release_all(self) -> None:
+        """Release every allocation committed through this placer (keeps power states)."""
+        for server in self.fleet.servers():
+            for app_id in list(server.allocations):
+                server.release(app_id)
+
+    def total_placed(self) -> int:
+        """Number of applications placed across all committed rounds."""
+        return sum(r.solution.n_placed for r in self.history if r.committed)
+
+    def total_carbon_g(self) -> float:
+        """Total Equation-6 carbon across all committed rounds, grams."""
+        return sum(r.solution.total_carbon_g() for r in self.history if r.committed)

@@ -1,0 +1,182 @@
+"""Translation of a placement problem into the MILP of Equations 1–7.
+
+Variables
+---------
+* ``x[i,j]`` — binary, application *i* placed on server *j*; only created for
+  pairs that survive the feasibility filter (latency constraint, Equation 2,
+  is therefore enforced structurally).
+* ``y[j]`` — binary, server *j* powered on; its lower bound is the current
+  power state (power-state consistency, Equation 4).
+
+Constraints
+-----------
+* Equation 1: per-server, per-resource capacity with the ``y_j`` coupling.
+* Equation 3: each (placeable) application assigned to exactly one server.
+* Equation 5: ``x_ij <= y_j``.
+
+Objective
+---------
+Equation 6 (or the energy / multi-objective variants): assignment coefficients
+on the ``x`` variables and activation coefficients ``(y_j - y^curr_j)`` on the
+``y`` variables; the constant ``-Σ y^curr_j·coeff`` is folded into the model's
+objective constant so reported objective values equal the solution metrics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.filters import FeasibilityReport, filter_feasible_servers
+from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.problem import PlacementProblem
+from repro.solver.milp import MILPModel
+
+
+def x_name(i: int, j: int) -> str:
+    """Canonical name of the placement variable x_ij."""
+    return f"x[{i},{j}]"
+
+
+def y_name(j: int) -> str:
+    """Canonical name of the power variable y_j."""
+    return f"y[{j}]"
+
+
+def build_placement_model(
+    problem: PlacementProblem,
+    objective: ObjectiveKind = ObjectiveKind.CARBON,
+    alpha: float = 0.0,
+    report: FeasibilityReport | None = None,
+    manage_power: bool = True,
+) -> tuple[MILPModel, FeasibilityReport]:
+    """Build the placement MILP for a problem.
+
+    Parameters
+    ----------
+    problem:
+        The placement problem instance.
+    objective:
+        Which objective to minimise (carbon by default).
+    alpha:
+        Energy weight for the multi-objective variant (Equation 8).
+    report:
+        Pre-computed feasibility report (computed here when omitted).
+    manage_power:
+        When False, every server is treated as already on and no activation
+        term is added — the ablation benchmark uses this to quantify the value
+        of power-state management.
+
+    Returns
+    -------
+    (model, report):
+        The MILP model and the feasibility report used to build it.
+        Applications listed in ``report.unplaceable`` have no variables and no
+        assignment constraint; callers must handle them.
+    """
+    report = report or filter_feasible_servers(problem)
+    model = MILPModel(name="carbon-edge-placement")
+    assign_coeff, activation_coeff = objective_coefficients(problem, objective, alpha)
+
+    # Deterministic tie-break: among objective-equivalent placements prefer the
+    # lower-latency one (negligible weight relative to the real objective).
+    feasible_vals = assign_coeff[report.mask] if report.mask.any() else assign_coeff
+    scale = float(np.abs(feasible_vals).max()) if feasible_vals.size else 1.0
+    latency_scale = float(problem.latency_ms[report.mask].max()) if report.mask.any() else 1.0
+    if scale > 0 and latency_scale > 0:
+        epsilon = 1e-5 * scale / latency_scale
+        assign_coeff = assign_coeff + epsilon * np.where(report.mask, problem.latency_ms, 0.0)
+
+    # Variables -------------------------------------------------------------
+    for j in range(problem.n_servers):
+        current = float(problem.current_power[j])
+        lower = 1.0 if (not manage_power or current >= 0.5) else 0.0
+        model.add_binary(y_name(j), lower=lower, upper=1.0)
+    for i in range(problem.n_applications):
+        for j in report.candidates_for(i):
+            model.add_binary(x_name(i, int(j)))
+
+    # Objective ---------------------------------------------------------------
+    objective_terms: dict[str, float] = {}
+    constant = 0.0
+    for i in range(problem.n_applications):
+        for j in report.candidates_for(i):
+            objective_terms[x_name(i, int(j))] = float(assign_coeff[i, int(j)])
+    if manage_power:
+        for j in range(problem.n_servers):
+            coeff = float(activation_coeff[j])
+            if coeff != 0.0:
+                objective_terms[y_name(j)] = objective_terms.get(y_name(j), 0.0) + coeff
+                constant -= coeff * float(problem.current_power[j])
+    model.set_objective(objective_terms, constant=constant)
+
+    # Equation 3: exactly-one assignment per placeable application -------------
+    for i in range(problem.n_applications):
+        candidates = report.candidates_for(i)
+        if len(candidates) == 0:
+            continue
+        model.add_constraint(
+            f"assign[{i}]",
+            {x_name(i, int(j)): 1.0 for j in candidates},
+            rhs=1.0,
+            equality=True,
+        )
+
+    # Equation 1: capacity per server and resource dimension -------------------
+    for j in range(problem.n_servers):
+        apps_here = [i for i in range(problem.n_applications) if report.mask[i, j]]
+        if not apps_here:
+            continue
+        resource_keys = set(problem.capacities[j].keys())
+        for i in apps_here:
+            resource_keys.update(problem.demands[i][j].keys())
+        for key in sorted(resource_keys):
+            capacity = problem.capacities[j].get(key)
+            coeffs: dict[str, float] = {}
+            for i in apps_here:
+                demand = problem.demands[i][j].get(key)
+                if demand > 0:
+                    coeffs[x_name(i, j)] = demand
+            if not coeffs:
+                continue
+            coeffs[y_name(j)] = -capacity
+            model.add_constraint(f"capacity[{j},{key}]", coeffs, rhs=0.0)
+
+    # Equation 5: assignments require an active server --------------------------
+    for i in range(problem.n_applications):
+        for j in report.candidates_for(i):
+            model.add_constraint(
+                f"active[{i},{int(j)}]",
+                {x_name(i, int(j)): 1.0, y_name(int(j)): -1.0},
+                rhs=0.0,
+            )
+
+    return model, report
+
+
+def assignment_groups(problem: PlacementProblem, report: FeasibilityReport) -> list[list[str]]:
+    """Exactly-one variable groups (per application) for the rounding heuristic."""
+    groups: list[list[str]] = []
+    for i in range(problem.n_applications):
+        candidates = report.candidates_for(i)
+        if len(candidates) > 0:
+            groups.append([x_name(i, int(j)) for j in candidates])
+    return groups
+
+
+def solution_from_values(problem: PlacementProblem, report: FeasibilityReport,
+                         values: dict[str, float]) -> tuple[dict[str, int], np.ndarray]:
+    """Decode solver variable values into (placements, power_on) arrays."""
+    placements: dict[str, int] = {}
+    for i, app in enumerate(problem.applications):
+        for j in report.candidates_for(i):
+            if values.get(x_name(i, int(j)), 0.0) > 0.5:
+                placements[app.app_id] = int(j)
+                break
+    power_on = problem.current_power.copy()
+    for j in range(problem.n_servers):
+        if values.get(y_name(j), 0.0) > 0.5:
+            power_on[j] = 1.0
+    # Any server hosting an application must be on regardless of solver output.
+    for j in set(placements.values()):
+        power_on[j] = 1.0
+    return placements, power_on

@@ -1,0 +1,35 @@
+"""Intensity-aware baseline: greedily chase the greenest zone.
+
+Section 6.1.3, baseline 3: "greedily assigns workloads to the greenest edge
+data centers with the lowest carbon intensity values while respecting the
+latency and resource constraints". Unlike CarbonEdge it ignores how much energy
+the application actually consumes on each server — which is exactly the
+behaviour the heterogeneity experiment (Figure 15) punishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filters import filter_feasible_servers
+from repro.core.policies.base import PlacementPolicy
+from repro.core.policies.greedy import greedy_place
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+
+
+@dataclass
+class IntensityAwarePolicy(PlacementPolicy):
+    """Assign each application to the feasible server with the lowest carbon intensity."""
+
+    name: str = "Intensity-aware"
+
+    def place(self, problem: PlacementProblem) -> PlacementSolution:
+        report = filter_feasible_servers(problem)
+        # Cost of an assignment is just the hosting zone's intensity.
+        assign_cost = np.broadcast_to(problem.intensity[None, :],
+                                      (problem.n_applications, problem.n_servers)).copy()
+        activation_cost = np.zeros(problem.n_servers)
+        return greedy_place(problem, assign_cost, activation_cost, report=report)

@@ -1,0 +1,35 @@
+"""Latency-aware baseline: place every application at its nearest feasible server.
+
+This is the strategy "commonly employed in edge computing" that the paper
+compares against (Section 6.1.3, baseline 1): it minimises network latency with
+no regard for carbon or energy. It is also the reference against which carbon
+savings and latency increases are reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filters import filter_feasible_servers
+from repro.core.policies.base import PlacementPolicy
+from repro.core.policies.greedy import greedy_place
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+
+
+@dataclass
+class LatencyAwarePolicy(PlacementPolicy):
+    """Assign each application to the lowest-latency server with capacity."""
+
+    name: str = "Latency-aware"
+
+    def place(self, problem: PlacementProblem) -> PlacementSolution:
+        report = filter_feasible_servers(problem)
+        assign_cost = problem.latency_ms.copy()
+        activation_cost = np.zeros(problem.n_servers)
+        # Tie-break equal-latency choices by carbon so comparisons are stable.
+        tie = problem.operational_carbon_g()
+        return greedy_place(problem, assign_cost, activation_cost, report=report,
+                            tie_breaker=tie)

@@ -1,0 +1,37 @@
+"""Random placement: a sanity-check baseline (not in the paper).
+
+Assigns every application to a uniformly random feasible server with remaining
+capacity. Useful in tests and ablations as a lower bound on how much structure
+the other policies actually exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.filters import filter_feasible_servers
+from repro.core.policies.base import PlacementPolicy
+from repro.core.policies.greedy import greedy_place
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+from repro.utils.rng import substream
+
+
+@dataclass
+class RandomPolicy(PlacementPolicy):
+    """Uniformly random feasible placement."""
+
+    seed: int = 0
+    name: str = "Random"
+
+    def place(self, problem: PlacementProblem) -> PlacementSolution:
+        report = filter_feasible_servers(problem)
+        rng = substream(self.seed, "random-policy", problem.n_applications,
+                        problem.n_servers)
+        # Random assignment = greedy over random per-pair costs.
+        assign_cost = rng.uniform(0.0, 1.0, size=(problem.n_applications, problem.n_servers))
+        activation_cost = np.zeros(problem.n_servers)
+        return greedy_place(problem, assign_cost, activation_cost, report=report,
+                            tie_breaker=assign_cost)

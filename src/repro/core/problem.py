@@ -1,0 +1,225 @@
+"""The carbon-aware placement problem instance.
+
+A :class:`PlacementProblem` bundles everything Table 2 of the paper lists as
+inputs: the applications to place, the candidate servers with their available
+capacities C^k_j, base powers B_j and current power states y^curr_j, the
+per-pair latencies L_ij, the per-pair resource demands R^k_ij and energies
+E_ij, and the (forecast-averaged) carbon intensities Ī_j. All pairwise
+quantities are pre-computed into dense NumPy arrays so the policies and the
+MILP builder never re-derive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.carbon.service import CarbonIntensityService
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer
+from repro.network.latency import LatencyMatrix
+from repro.utils.units import joules_to_kwh
+from repro.workloads.application import Application
+
+#: Large latency assigned to (application, server) pairs with no usable profile.
+INFEASIBLE_LATENCY_MS: float = 1e9
+
+
+@dataclass
+class PlacementProblem:
+    """One batch-placement instance.
+
+    Use :meth:`build` to construct instances from library objects; the raw
+    constructor expects pre-computed arrays (mostly useful in tests).
+    """
+
+    applications: list[Application]
+    servers: list[EdgeServer]
+    #: (A, S) one-way latency between each application's source and each server.
+    latency_ms: np.ndarray
+    #: (A, S) dynamic energy E_ij in joules over the placement horizon.
+    energy_j: np.ndarray
+    #: (A, S) list-of-lists of per-pair resource demands R^k_ij.
+    demands: list[list[ResourceVector]]
+    #: (S,) forecast-average carbon intensity Ī_j, g CO2eq/kWh.
+    intensity: np.ndarray
+    #: (S,) available capacity C^k_j per server.
+    capacities: list[ResourceVector] = field(default_factory=list)
+    #: (S,) base power B_j in watts.
+    base_power_w: np.ndarray = field(default_factory=lambda: np.array([]))
+    #: (S,) current power state y^curr_j (1 = on).
+    current_power: np.ndarray = field(default_factory=lambda: np.array([]))
+    #: Placement horizon in hours (used for activation energy).
+    horizon_hours: float = 1.0
+    #: (A, S) support mask: True where the workload has a profile on the server.
+    supported: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        a, s = len(self.applications), len(self.servers)
+        self.latency_ms = np.asarray(self.latency_ms, dtype=float)
+        self.energy_j = np.asarray(self.energy_j, dtype=float)
+        self.intensity = np.asarray(self.intensity, dtype=float)
+        self.base_power_w = np.asarray(self.base_power_w, dtype=float)
+        self.current_power = np.asarray(self.current_power, dtype=float)
+        if self.supported is None:
+            self.supported = np.ones((a, s), dtype=bool)
+        else:
+            self.supported = np.asarray(self.supported, dtype=bool)
+        expected_2d = {(a, s)}
+        for name, arr in (("latency_ms", self.latency_ms), ("energy_j", self.energy_j),
+                          ("supported", self.supported)):
+            if arr.shape not in expected_2d:
+                raise ValueError(f"{name} must have shape ({a}, {s}), got {arr.shape}")
+        for name, arr in (("intensity", self.intensity), ("base_power_w", self.base_power_w),
+                          ("current_power", self.current_power)):
+            if arr.shape != (s,):
+                raise ValueError(f"{name} must have shape ({s},), got {arr.shape}")
+        if len(self.demands) != a or any(len(row) != s for row in self.demands):
+            raise ValueError(f"demands must be an {a}x{s} nested list")
+        if len(self.capacities) != s:
+            raise ValueError(f"capacities must have {s} entries, got {len(self.capacities)}")
+        if self.horizon_hours <= 0:
+            raise ValueError("horizon_hours must be positive")
+        if np.any(self.intensity < 0):
+            raise ValueError("carbon intensities must be non-negative")
+
+    # -- sizes ------------------------------------------------------------------
+
+    @property
+    def n_applications(self) -> int:
+        """Number of applications in the batch."""
+        return len(self.applications)
+
+    @property
+    def n_servers(self) -> int:
+        """Number of candidate servers."""
+        return len(self.servers)
+
+    # -- derived matrices ---------------------------------------------------------
+
+    def feasible_mask(self) -> np.ndarray:
+        """(A, S) mask of pairs satisfying the latency constraint and profile support.
+
+        The latency constraint compares the *round-trip* network latency
+        (2 × one-way) against each application's SLO, matching the paper's use
+        of round-trip limits in the evaluation.
+        """
+        slos = np.array([app.latency_slo_ms for app in self.applications])[:, None]
+        return (2.0 * self.latency_ms <= slos + 1e-9) & self.supported
+
+    def operational_carbon_g(self) -> np.ndarray:
+        """(A, S) operational emissions x_ij would incur: E_ij (kWh) × Ī_j, grams."""
+        return joules_to_kwh(self.energy_j) * self.intensity[None, :]
+
+    def activation_carbon_g(self) -> np.ndarray:
+        """(S,) emissions of newly activating each server: B_j × horizon × Ī_j, grams."""
+        activation_kwh = self.base_power_w * self.horizon_hours / 1000.0
+        return activation_kwh * self.intensity
+
+    def activation_energy_j(self) -> np.ndarray:
+        """(S,) energy of keeping each server on for the horizon, joules."""
+        return self.base_power_w * self.horizon_hours * 3600.0
+
+    def app_index(self, app_id: str) -> int:
+        """Index of an application by id."""
+        for i, app in enumerate(self.applications):
+            if app.app_id == app_id:
+                return i
+        raise KeyError(f"unknown application {app_id!r}")
+
+    def server_index(self, server_id: str) -> int:
+        """Index of a server by id."""
+        for j, server in enumerate(self.servers):
+            if server.server_id == server_id:
+                return j
+        raise KeyError(f"unknown server {server_id!r}")
+
+    # -- construction ---------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        applications: Sequence[Application],
+        servers: Sequence[EdgeServer],
+        latency: LatencyMatrix,
+        carbon: CarbonIntensityService,
+        hour: int = 0,
+        horizon_hours: float = 1.0,
+        use_forecast: bool = True,
+    ) -> "PlacementProblem":
+        """Assemble a problem from library objects.
+
+        Parameters
+        ----------
+        applications:
+            Batch of applications to place.
+        servers:
+            Candidate servers (their available capacity and power state are read
+            at call time).
+        latency:
+            One-way latency matrix over sites; application source sites and
+            server sites must both be present.
+        carbon:
+            Carbon-intensity service providing Ī_j (forecast mean over the
+            horizon) or the instantaneous intensity.
+        hour:
+            Hour-of-year at which the placement happens.
+        horizon_hours:
+            Placement horizon (applications are assumed to run this long).
+        use_forecast:
+            Use the forecast mean (paper behaviour) instead of the
+            instantaneous intensity; the ablation benchmark flips this.
+        """
+        applications = list(applications)
+        servers = list(servers)
+        a, s = len(applications), len(servers)
+        if a == 0:
+            raise ValueError("cannot build a placement problem with no applications")
+        if s == 0:
+            raise ValueError("cannot build a placement problem with no servers")
+
+        latency_ms = np.zeros((a, s))
+        energy_j = np.zeros((a, s))
+        supported = np.zeros((a, s), dtype=bool)
+        demands: list[list[ResourceVector]] = []
+        for i, app in enumerate(applications):
+            row: list[ResourceVector] = []
+            for j, server in enumerate(servers):
+                latency_ms[i, j] = latency.one_way_ms(app.source_site, server.site)
+                if app.supports_server(server):
+                    supported[i, j] = True
+                    scaled = Application(
+                        app_id=app.app_id, workload=app.workload,
+                        source_site=app.source_site, latency_slo_ms=app.latency_slo_ms,
+                        request_rate_rps=app.request_rate_rps, duration_hours=horizon_hours)
+                    energy_j[i, j] = scaled.energy_on(server)
+                    row.append(app.resource_demand_on(server))
+                else:
+                    latency_ms[i, j] = INFEASIBLE_LATENCY_MS
+                    energy_j[i, j] = 0.0
+                    row.append(ResourceVector())
+            demands.append(row)
+
+        if use_forecast:
+            intensity = np.array([
+                carbon.forecast_mean(srv.zone_id, hour, int(np.ceil(horizon_hours)))
+                for srv in servers])
+        else:
+            intensity = np.array([carbon.current_intensity(srv.zone_id, hour)
+                                  for srv in servers])
+
+        return cls(
+            applications=applications,
+            servers=servers,
+            latency_ms=latency_ms,
+            energy_j=energy_j,
+            demands=demands,
+            intensity=intensity,
+            capacities=[srv.available_capacity for srv in servers],
+            base_power_w=np.array([srv.base_power_w for srv in servers]),
+            current_power=np.array([1.0 if srv.is_on else 0.0 for srv in servers]),
+            horizon_hours=horizon_hours,
+            supported=supported,
+        )

@@ -1,0 +1,189 @@
+"""Placement solutions and their carbon / energy / latency accounting.
+
+A :class:`PlacementSolution` holds the committed decisions (which server each
+application goes to, which servers are powered on) and evaluates the paper's
+three metrics (Section 6.1.4) against the problem it solves:
+
+* carbon emissions (Equation 6: operational + newly-activated base power),
+* energy consumption (dynamic + newly-activated base power),
+* latency (per-application one-way latency to the chosen server, plus the
+  increase relative to placing at the nearest feasible server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import PlacementProblem
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One application-to-server assignment with its per-assignment metrics."""
+
+    app_id: str
+    server_id: str
+    site: str
+    zone_id: str
+    one_way_latency_ms: float
+    operational_carbon_g: float
+    energy_j: float
+
+
+@dataclass
+class PlacementSolution:
+    """The outcome of placing one batch of applications."""
+
+    problem: PlacementProblem
+    #: app_id -> server index (only placed applications appear).
+    placements: dict[str, int] = field(default_factory=dict)
+    #: (S,) final power decision y_j (1 = on).
+    power_on: np.ndarray = field(default_factory=lambda: np.array([]))
+    #: Application ids that could not be placed (no feasible server).
+    unplaced: list[str] = field(default_factory=list)
+    #: Wall-clock seconds the policy spent producing this solution.
+    solve_time_s: float = 0.0
+    #: Name of the policy that produced the solution.
+    policy_name: str = ""
+    #: Optimality gap reported by the solver (0 when exact, NaN when unknown).
+    solver_gap: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if len(self.power_on) == 0:
+            self.power_on = self.problem.current_power.copy()
+        self.power_on = np.asarray(self.power_on, dtype=float)
+        if self.power_on.shape != (self.problem.n_servers,):
+            raise ValueError("power_on must have one entry per server")
+
+    # -- structure ---------------------------------------------------------------
+
+    @property
+    def n_placed(self) -> int:
+        """Number of successfully placed applications."""
+        return len(self.placements)
+
+    @property
+    def all_placed(self) -> bool:
+        """Whether every application in the batch was placed."""
+        return not self.unplaced and self.n_placed == self.problem.n_applications
+
+    def server_of(self, app_id: str) -> str:
+        """Server id hosting the given application."""
+        if app_id not in self.placements:
+            raise KeyError(f"application {app_id!r} was not placed")
+        return self.problem.servers[self.placements[app_id]].server_id
+
+    def assignments(self) -> list[Assignment]:
+        """Per-application assignment records."""
+        out: list[Assignment] = []
+        op_carbon = self.problem.operational_carbon_g()
+        for app_id, j in self.placements.items():
+            i = self.problem.app_index(app_id)
+            server = self.problem.servers[j]
+            out.append(Assignment(
+                app_id=app_id,
+                server_id=server.server_id,
+                site=server.site,
+                zone_id=server.zone_id,
+                one_way_latency_ms=float(self.problem.latency_ms[i, j]),
+                operational_carbon_g=float(op_carbon[i, j]),
+                energy_j=float(self.problem.energy_j[i, j]),
+            ))
+        return out
+
+    def apps_per_server(self) -> dict[str, int]:
+        """Number of applications placed on each server (by server id)."""
+        counts: dict[str, int] = {s.server_id: 0 for s in self.problem.servers}
+        for j in self.placements.values():
+            counts[self.problem.servers[j].server_id] += 1
+        return counts
+
+    def apps_per_site(self) -> dict[str, int]:
+        """Number of applications placed at each site."""
+        counts: dict[str, int] = {}
+        for j in self.placements.values():
+            site = self.problem.servers[j].site
+            counts[site] = counts.get(site, 0) + 1
+        return counts
+
+    # -- metrics -------------------------------------------------------------------
+
+    def newly_activated(self) -> np.ndarray:
+        """(S,) indicator of servers switched on by this placement (y_j - y^curr_j)."""
+        return np.clip(self.power_on - self.problem.current_power, 0.0, 1.0)
+
+    def operational_carbon_g(self) -> float:
+        """Total operational emissions of the placed applications, grams."""
+        op = self.problem.operational_carbon_g()
+        return float(sum(op[self.problem.app_index(a), j] for a, j in self.placements.items()))
+
+    def activation_carbon_g(self) -> float:
+        """Emissions from newly activated servers' base power, grams."""
+        return float(np.dot(self.newly_activated(), self.problem.activation_carbon_g()))
+
+    def total_carbon_g(self) -> float:
+        """Equation 6: operational + activation emissions, grams."""
+        return self.operational_carbon_g() + self.activation_carbon_g()
+
+    def dynamic_energy_j(self) -> float:
+        """Dynamic energy of the placed applications, joules."""
+        return float(sum(self.problem.energy_j[self.problem.app_index(a), j]
+                         for a, j in self.placements.items()))
+
+    def activation_energy_j(self) -> float:
+        """Base-power energy of newly activated servers over the horizon, joules."""
+        return float(np.dot(self.newly_activated(), self.problem.activation_energy_j()))
+
+    def total_energy_j(self) -> float:
+        """Dynamic + activation energy, joules."""
+        return self.dynamic_energy_j() + self.activation_energy_j()
+
+    def mean_latency_ms(self) -> float:
+        """Mean one-way latency of the placed applications."""
+        if not self.placements:
+            return 0.0
+        lats = [self.problem.latency_ms[self.problem.app_index(a), j]
+                for a, j in self.placements.items()]
+        return float(np.mean(lats))
+
+    def max_latency_ms(self) -> float:
+        """Worst-case one-way latency of the placed applications."""
+        if not self.placements:
+            return 0.0
+        lats = [self.problem.latency_ms[self.problem.app_index(a), j]
+                for a, j in self.placements.items()]
+        return float(np.max(lats))
+
+    def latency_increase_ms(self) -> float:
+        """Mean one-way latency increase vs. each application's nearest feasible server.
+
+        This is the "Increased Latency" metric the paper reports (relative to
+        the Latency-aware baseline, which always picks the nearest feasible
+        server).
+        """
+        if not self.placements:
+            return 0.0
+        feasible = self.problem.feasible_mask()
+        increases = []
+        for app_id, j in self.placements.items():
+            i = self.problem.app_index(app_id)
+            row = np.where(feasible[i], self.problem.latency_ms[i], np.inf)
+            nearest = float(row.min()) if np.isfinite(row).any() else 0.0
+            increases.append(float(self.problem.latency_ms[i, j]) - nearest)
+        return float(np.mean(increases))
+
+    def summary(self) -> dict[str, float]:
+        """Compact metric summary used by the experiment reports."""
+        return {
+            "placed": float(self.n_placed),
+            "unplaced": float(len(self.unplaced)),
+            "carbon_g": self.total_carbon_g(),
+            "operational_carbon_g": self.operational_carbon_g(),
+            "activation_carbon_g": self.activation_carbon_g(),
+            "energy_j": self.total_energy_j(),
+            "mean_latency_ms": self.mean_latency_ms(),
+            "latency_increase_ms": self.latency_increase_ms(),
+            "solve_time_s": self.solve_time_s,
+        }

@@ -1,0 +1,92 @@
+"""Solution validation against the placement constraints (Equations 1–5).
+
+Every experiment validates the solutions it reports, so a policy or solver bug
+cannot silently produce infeasible placements that look like savings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.resources import ResourceVector
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+
+
+class ValidationError(AssertionError):
+    """Raised when a placement solution violates a constraint."""
+
+
+def validate_solution(solution: PlacementSolution, strict: bool = True) -> list[str]:
+    """Check a solution against its problem's constraints.
+
+    Parameters
+    ----------
+    solution:
+        The solution to validate.
+    strict:
+        Raise :class:`ValidationError` on the first set of violations instead
+        of returning them.
+
+    Returns
+    -------
+    list[str]
+        Human-readable violation descriptions (empty when valid).
+    """
+    problem: PlacementProblem = solution.problem
+    violations: list[str] = []
+    feasible = problem.feasible_mask()
+
+    # Equation 3: each application placed at most once, and every application is
+    # either placed or listed as unplaced.
+    placed_ids = set(solution.placements)
+    unplaced_ids = set(solution.unplaced)
+    all_ids = {app.app_id for app in problem.applications}
+    if placed_ids & unplaced_ids:
+        violations.append(f"applications both placed and unplaced: {placed_ids & unplaced_ids}")
+    missing = all_ids - placed_ids - unplaced_ids
+    if missing:
+        violations.append(f"applications neither placed nor marked unplaced: {sorted(missing)}")
+    unknown = placed_ids - all_ids
+    if unknown:
+        violations.append(f"placements for unknown applications: {sorted(unknown)}")
+
+    # Equation 2 (latency / support feasibility of every chosen pair).
+    for app_id, j in solution.placements.items():
+        if app_id not in all_ids:
+            continue  # already reported as an unknown placement above
+        i = problem.app_index(app_id)
+        if not feasible[i, j]:
+            violations.append(
+                f"{app_id} placed on {problem.servers[j].server_id} violating its latency SLO "
+                f"({2 * problem.latency_ms[i, j]:.2f} ms RTT > {problem.applications[i].latency_slo_ms} ms)")
+
+    # Equation 1: per-server capacity across every resource dimension.
+    for j, server in enumerate(problem.servers):
+        demand_total = ResourceVector()
+        for app_id, jj in solution.placements.items():
+            if jj != j or app_id not in all_ids:
+                continue
+            demand_total = demand_total + problem.demands[problem.app_index(app_id)][j]
+        if not demand_total.fits_within(problem.capacities[j]):
+            violations.append(
+                f"server {server.server_id} over capacity: demand {demand_total} "
+                f"> available {problem.capacities[j]}")
+
+    # Equation 5: assignments require powered-on servers.
+    used_servers = set(solution.placements.values())
+    for j in used_servers:
+        if solution.power_on[j] < 0.5:
+            violations.append(
+                f"server {problem.servers[j].server_id} hosts applications but is powered off")
+
+    # Equation 4: power-state consistency (no active server switched off).
+    switched_off = np.flatnonzero((problem.current_power > 0.5) & (solution.power_on < 0.5))
+    for j in switched_off:
+        violations.append(
+            f"server {problem.servers[int(j)].server_id} was on before placement "
+            "but the solution powers it off")
+
+    if violations and strict:
+        raise ValidationError("; ".join(violations))
+    return violations

@@ -1,0 +1,52 @@
+"""Synthetic datasets standing in for the paper's proprietary traces.
+
+The paper combines four data sources (Section 6.1.1): Electricity Maps hourly
+carbon-intensity traces for 148 zones, WonderNetwork ping traces between 246
+cities, Akamai CDN edge data-center locations, and per-device ML workload
+profiles. None of these are redistributable, so this package provides
+deterministic synthetic equivalents:
+
+* :mod:`repro.datasets.cities` — a catalogue of US and European cities with
+  coordinates and populations (the latency and demand substrate).
+* :mod:`repro.datasets.regions` — the mesoscale regions used throughout the
+  paper's figures (Florida, West US, Italy, Central EU, and the four Figure-1
+  reference zones).
+* :mod:`repro.datasets.electricity_maps` — 148 carbon zones with generation-mix
+  specifications calibrated to the paper's reported spreads.
+* :mod:`repro.datasets.akamai` — a synthetic CDN footprint of ~496 US/EU edge
+  sites, population-weighted around the city catalogue.
+"""
+
+from repro.datasets.cities import City, CityCatalog, default_city_catalog
+from repro.datasets.regions import (
+    MesoscaleRegion,
+    FLORIDA,
+    WEST_US,
+    ITALY,
+    CENTRAL_EU,
+    FIGURE1_ZONES,
+    ALL_REGIONS,
+    region_by_name,
+)
+from repro.datasets.electricity_maps import ZoneSpec, ZoneCatalog, default_zone_catalog
+from repro.datasets.akamai import CDNSite, CDNFootprint, default_cdn_footprint
+
+__all__ = [
+    "City",
+    "CityCatalog",
+    "default_city_catalog",
+    "MesoscaleRegion",
+    "FLORIDA",
+    "WEST_US",
+    "ITALY",
+    "CENTRAL_EU",
+    "FIGURE1_ZONES",
+    "ALL_REGIONS",
+    "region_by_name",
+    "ZoneSpec",
+    "ZoneCatalog",
+    "default_zone_catalog",
+    "CDNSite",
+    "CDNFootprint",
+    "default_cdn_footprint",
+]

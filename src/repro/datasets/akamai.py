@@ -1,0 +1,158 @@
+"""Synthetic CDN edge footprint (the Akamai-trace stand-in).
+
+The paper uses Akamai CDN traces with the locations of 496 edge data centers in
+the US and Europe (Section 3.2 / 6.1.1). We generate a synthetic footprint of
+the same scale by placing sites around the city catalogue with population-
+weighted density: large metros get several nearby sites, small cities at least
+one. Sites inherit the carbon zone of their anchor city, matching the paper's
+integration step of mapping each data center to its carbon zone and nearest
+city (and collapsing multiple data centers in the same city into one for the
+placement experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.cities import City, CityCatalog, default_city_catalog
+from repro.utils.rng import substream
+
+#: Default number of CDN edge sites (paper: 496 across the US and Europe).
+DEFAULT_SITE_COUNT: int = 496
+
+
+@dataclass(frozen=True)
+class CDNSite:
+    """A CDN edge data center location."""
+
+    site_id: str
+    city_name: str
+    continent: str
+    lat: float
+    lon: float
+    zone_id: str
+    population_k: float
+
+    @property
+    def coordinates(self) -> tuple[float, float]:
+        """(latitude, longitude) in degrees."""
+        return (self.lat, self.lon)
+
+
+@dataclass
+class CDNFootprint:
+    """A collection of CDN edge sites with lookup helpers."""
+
+    sites: tuple[CDNSite, ...]
+
+    def __post_init__(self) -> None:
+        self._by_id = {s.site_id: s for s in self.sites}
+        if len(self._by_id) != len(self.sites):
+            raise ValueError("duplicate CDN site ids")
+
+    def __len__(self) -> int:
+        return len(self.sites)
+
+    def __iter__(self) -> Iterator[CDNSite]:
+        return iter(self.sites)
+
+    def get(self, site_id: str) -> CDNSite:
+        """Return the site with the given id or raise :class:`KeyError`."""
+        try:
+            return self._by_id[site_id]
+        except KeyError:
+            raise KeyError(f"unknown CDN site {site_id!r}") from None
+
+    def by_continent(self, continent: str) -> list[CDNSite]:
+        """All sites on the given continent ("US" or "EU")."""
+        return [s for s in self.sites if s.continent == continent]
+
+    def zone_ids(self) -> list[str]:
+        """Sorted unique carbon-zone ids covered by the footprint."""
+        return sorted({s.zone_id for s in self.sites})
+
+    def city_names(self) -> list[str]:
+        """Sorted unique anchor-city names."""
+        return sorted({s.city_name for s in self.sites})
+
+    def coordinates_array(self) -> np.ndarray:
+        """(N, 2) array of [lat, lon] per site, in footprint order."""
+        return np.array([[s.lat, s.lon] for s in self.sites], dtype=float)
+
+    def one_per_city(self) -> "CDNFootprint":
+        """Collapse multiple sites in the same city into one (paper integration step 4)."""
+        seen: dict[str, CDNSite] = {}
+        for s in self.sites:
+            seen.setdefault(s.city_name, s)
+        return CDNFootprint(sites=tuple(seen.values()))
+
+
+def build_cdn_footprint(
+    n_sites: int = DEFAULT_SITE_COUNT,
+    catalog: CityCatalog | None = None,
+    seed: int = 0,
+    max_offset_km: float = 40.0,
+) -> CDNFootprint:
+    """Build a synthetic CDN footprint of ``n_sites`` US/EU edge locations.
+
+    Sites are allocated to cities proportionally to metro population (with at
+    least one site per city), then jittered by up to ``max_offset_km`` from the
+    city centre to emulate suburban data-center placement.
+    """
+    if n_sites <= 0:
+        raise ValueError(f"n_sites must be positive, got {n_sites}")
+    catalog = catalog or default_city_catalog()
+    cities: list[City] = list(catalog)
+    if n_sites < len(cities):
+        # Keep the largest cities when asked for fewer sites than cities.
+        cities = sorted(cities, key=lambda c: -c.population_k)[:n_sites]
+
+    populations = np.array([c.population_k for c in cities], dtype=float)
+    weights = populations / populations.sum()
+    extra = n_sites - len(cities)
+    # Every city gets one site; the remainder is distributed by population.
+    counts = np.ones(len(cities), dtype=int)
+    if extra > 0:
+        fractional = weights * extra
+        counts += np.floor(fractional).astype(int)
+        remainder = n_sites - int(counts.sum())
+        if remainder > 0:
+            order = np.argsort(-(fractional - np.floor(fractional)))
+            counts[order[:remainder]] += 1
+
+    rng = substream(seed, "akamai-footprint", n_sites)
+    sites: list[CDNSite] = []
+    deg_per_km = 1.0 / 111.0  # approximate degrees of latitude per km
+    for city, count in zip(cities, counts):
+        for k in range(int(count)):
+            if k == 0:
+                lat, lon = city.lat, city.lon
+            else:
+                dlat = float(rng.uniform(-max_offset_km, max_offset_km)) * deg_per_km
+                dlon = float(rng.uniform(-max_offset_km, max_offset_km)) * deg_per_km / max(
+                    np.cos(np.radians(city.lat)), 0.2)
+                lat, lon = city.lat + dlat, city.lon + dlon
+            sites.append(CDNSite(
+                site_id=f"{city.name.replace(' ', '_')}-{k:02d}",
+                city_name=city.name,
+                continent=city.continent,
+                lat=lat,
+                lon=lon,
+                zone_id=city.zone_id,
+                population_k=city.population_k,
+            ))
+    return CDNFootprint(sites=tuple(sites))
+
+
+_DEFAULT_FOOTPRINT: CDNFootprint | None = None
+
+
+def default_cdn_footprint() -> CDNFootprint:
+    """Return the cached default 496-site footprint."""
+    global _DEFAULT_FOOTPRINT
+    if _DEFAULT_FOOTPRINT is None:
+        _DEFAULT_FOOTPRINT = build_cdn_footprint()
+    return _DEFAULT_FOOTPRINT

@@ -1,0 +1,288 @@
+"""City catalogue: coordinates, populations, and carbon-zone assignments.
+
+This is the synthetic stand-in for the WonderNetwork city list used by the
+paper for latency, and for the population data used as a demand/capacity proxy
+in Section 6.3.4. Coordinates are approximate city-centre values; populations
+are metro-area estimates in thousands (used only for *relative* weighting).
+
+Zone assignment rules
+---------------------
+* Cities belonging to one of the paper's mesoscale study regions get their own
+  city-level carbon zone (e.g. ``US-FL-MIA``), mirroring how Electricity Maps
+  models municipal utilities such as Tallahassee.
+* All other US cities map to a state-level zone (``US-<STATE>``), and European
+  cities map to a country-level zone (``EU-<CC>``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+#: Cities that get a dedicated city-level carbon zone (paper study regions).
+CITY_LEVEL_ZONES: dict[str, str] = {
+    # Florida mesoscale region
+    "Jacksonville": "US-FL-JAX",
+    "Miami": "US-FL-MIA",
+    "Tampa": "US-FL-TPA",
+    "Orlando": "US-FL-ORL",
+    "Tallahassee": "US-FL-TAL",
+    # West-US mesoscale region
+    "Las Vegas": "US-NV-LAS",
+    "Kingman": "US-AZ-KNG",
+    "San Diego": "US-CA-SAN",
+    "Phoenix": "US-AZ-PHX",
+    "Flagstaff": "US-AZ-FLG",
+    # Italy mesoscale region
+    "Milan": "EU-IT-MIL",
+    "Rome": "EU-IT-ROM",
+    "Cagliari": "EU-IT-CAG",
+    "Palermo": "EU-IT-PAL",
+    "Arezzo": "EU-IT-ARE",
+    # Central-EU mesoscale region (Milan shared with Italy region)
+    "Bern": "EU-CH-BRN",
+    "Munich": "EU-DE-MUC",
+    "Lyon": "EU-FR-LYS",
+    "Graz": "EU-AT-GRZ",
+}
+
+
+@dataclass(frozen=True)
+class City:
+    """A city with coordinates, population, and its carbon-zone assignment."""
+
+    name: str
+    country: str
+    continent: str  # "US" or "EU"
+    lat: float
+    lon: float
+    population_k: float  # metro population, thousands
+    state: str = ""  # two-letter state for US cities, "" for EU
+
+    @property
+    def zone_id(self) -> str:
+        """Carbon zone this city draws electricity from."""
+        if self.name in CITY_LEVEL_ZONES:
+            return CITY_LEVEL_ZONES[self.name]
+        if self.continent == "US":
+            return f"US-{self.state}"
+        return f"EU-{self.country}"
+
+    @property
+    def coordinates(self) -> tuple[float, float]:
+        """(latitude, longitude) tuple in degrees."""
+        return (self.lat, self.lon)
+
+
+def _us(name: str, state: str, lat: float, lon: float, pop_k: float) -> City:
+    return City(name=name, country="US", continent="US", lat=lat, lon=lon,
+                population_k=pop_k, state=state)
+
+
+def _eu(name: str, country: str, lat: float, lon: float, pop_k: float) -> City:
+    return City(name=name, country=country, continent="EU", lat=lat, lon=lon,
+                population_k=pop_k)
+
+
+#: US cities (64 entries, mirroring the WonderNetwork US coverage).
+US_CITIES: tuple[City, ...] = (
+    _us("New York", "NY", 40.71, -74.01, 19500),
+    _us("Los Angeles", "CA", 34.05, -118.24, 13200),
+    _us("Chicago", "IL", 41.88, -87.63, 9500),
+    _us("Houston", "TX", 29.76, -95.37, 7100),
+    _us("Phoenix", "AZ", 33.45, -112.07, 4900),
+    _us("Philadelphia", "PA", 39.95, -75.17, 6100),
+    _us("San Antonio", "TX", 29.42, -98.49, 2600),
+    _us("San Diego", "CA", 32.72, -117.16, 3300),
+    _us("Dallas", "TX", 32.78, -96.80, 7600),
+    _us("San Jose", "CA", 37.34, -121.89, 2000),
+    _us("Austin", "TX", 30.27, -97.74, 2300),
+    _us("Jacksonville", "FL", 30.33, -81.66, 1600),
+    _us("Fort Worth", "TX", 32.76, -97.33, 950),
+    _us("Columbus", "OH", 39.96, -82.99, 2100),
+    _us("Charlotte", "NC", 35.23, -80.84, 2700),
+    _us("San Francisco", "CA", 37.77, -122.42, 4700),
+    _us("Indianapolis", "IN", 39.77, -86.16, 2100),
+    _us("Seattle", "WA", 47.61, -122.33, 4000),
+    _us("Denver", "CO", 39.74, -104.99, 2900),
+    _us("Washington", "DC", 38.91, -77.04, 6300),
+    _us("Boston", "MA", 42.36, -71.06, 4900),
+    _us("El Paso", "TX", 31.76, -106.49, 870),
+    _us("Nashville", "TN", 36.16, -86.78, 2000),
+    _us("Detroit", "MI", 42.33, -83.05, 4300),
+    _us("Oklahoma City", "OK", 35.47, -97.52, 1400),
+    _us("Portland", "OR", 45.52, -122.68, 2500),
+    _us("Las Vegas", "NV", 36.17, -115.14, 2300),
+    _us("Memphis", "TN", 35.15, -90.05, 1300),
+    _us("Louisville", "KY", 38.25, -85.76, 1300),
+    _us("Baltimore", "MD", 39.29, -76.61, 2800),
+    _us("Milwaukee", "WI", 43.04, -87.91, 1600),
+    _us("Albuquerque", "NM", 35.08, -106.65, 920),
+    _us("Tucson", "AZ", 32.22, -110.97, 1050),
+    _us("Fresno", "CA", 36.74, -119.78, 1000),
+    _us("Sacramento", "CA", 38.58, -121.49, 2400),
+    _us("Kansas City", "MO", 39.10, -94.58, 2200),
+    _us("Atlanta", "GA", 33.75, -84.39, 6100),
+    _us("Miami", "FL", 25.76, -80.19, 6100),
+    _us("Raleigh", "NC", 35.78, -78.64, 1400),
+    _us("Omaha", "NE", 41.26, -95.94, 970),
+    _us("Minneapolis", "MN", 44.98, -93.27, 3700),
+    _us("Tampa", "FL", 27.95, -82.46, 3200),
+    _us("Orlando", "FL", 28.54, -81.38, 2700),
+    _us("Tallahassee", "FL", 30.44, -84.28, 390),
+    _us("Pittsburgh", "PA", 40.44, -79.99, 2300),
+    _us("Cincinnati", "OH", 39.10, -84.51, 2300),
+    _us("St. Louis", "MO", 38.63, -90.20, 2800),
+    _us("Cleveland", "OH", 41.50, -81.69, 2100),
+    _us("Salt Lake City", "UT", 40.76, -111.89, 1300),
+    _us("Flagstaff", "AZ", 35.20, -111.65, 77),
+    _us("Kingman", "AZ", 35.19, -114.05, 34),
+    _us("Boise", "ID", 43.62, -116.21, 770),
+    _us("Richmond", "VA", 37.54, -77.44, 1300),
+    _us("New Orleans", "LA", 29.95, -90.07, 1270),
+    _us("Buffalo", "NY", 42.89, -78.88, 1160),
+    _us("Hartford", "CT", 41.77, -72.67, 1200),
+    _us("Providence", "RI", 41.82, -71.41, 1670),
+    _us("Charleston", "SC", 32.78, -79.93, 800),
+    _us("Birmingham", "AL", 33.52, -86.80, 1100),
+    _us("Des Moines", "IA", 41.59, -93.62, 700),
+    _us("Spokane", "WA", 47.66, -117.43, 590),
+    _us("Reno", "NV", 39.53, -119.81, 490),
+    _us("Anchorage", "AK", 61.22, -149.90, 400),
+    _us("Honolulu", "HI", 21.31, -157.86, 1000),
+)
+
+#: European cities (64 entries, mirroring the WonderNetwork EU coverage).
+EU_CITIES: tuple[City, ...] = (
+    _eu("London", "GB", 51.51, -0.13, 14300),
+    _eu("Paris", "FR", 48.86, 2.35, 12200),
+    _eu("Berlin", "DE", 52.52, 13.41, 6100),
+    _eu("Madrid", "ES", 40.42, -3.70, 6700),
+    _eu("Rome", "IT", 41.90, 12.50, 4300),
+    _eu("Bucharest", "RO", 44.43, 26.10, 2300),
+    _eu("Vienna", "AT", 48.21, 16.37, 2900),
+    _eu("Hamburg", "DE", 53.55, 9.99, 3200),
+    _eu("Warsaw", "PL", 52.23, 21.01, 3100),
+    _eu("Budapest", "HU", 47.50, 19.04, 3000),
+    _eu("Barcelona", "ES", 41.39, 2.17, 5600),
+    _eu("Munich", "DE", 48.14, 11.58, 2900),
+    _eu("Milan", "IT", 45.46, 9.19, 4300),
+    _eu("Prague", "CZ", 50.08, 14.44, 2700),
+    _eu("Sofia", "BG", 42.70, 23.32, 1700),
+    _eu("Brussels", "BE", 50.85, 4.35, 2100),
+    _eu("Amsterdam", "NL", 52.37, 4.90, 2500),
+    _eu("Stockholm", "SE", 59.33, 18.07, 2400),
+    _eu("Marseille", "FR", 43.30, 5.37, 1900),
+    _eu("Copenhagen", "DK", 55.68, 12.57, 2100),
+    _eu("Helsinki", "FI", 60.17, 24.94, 1500),
+    _eu("Lisbon", "PT", 38.72, -9.14, 2900),
+    _eu("Athens", "GR", 37.98, 23.73, 3600),
+    _eu("Dublin", "IE", 53.35, -6.26, 2100),
+    _eu("Oslo", "NO", 59.91, 10.75, 1600),
+    _eu("Zurich", "CH", 47.37, 8.54, 1400),
+    _eu("Lyon", "FR", 45.76, 4.84, 2300),
+    _eu("Frankfurt", "DE", 50.11, 8.68, 2700),
+    _eu("Krakow", "PL", 50.06, 19.94, 1800),
+    _eu("Naples", "IT", 40.85, 14.27, 3100),
+    _eu("Turin", "IT", 45.07, 7.69, 1800),
+    _eu("Valencia", "ES", 39.47, -0.38, 1700),
+    _eu("Seville", "ES", 37.39, -5.99, 1500),
+    _eu("Zagreb", "HR", 45.81, 15.98, 1100),
+    _eu("Rotterdam", "NL", 51.92, 4.48, 1000),
+    _eu("Geneva", "CH", 46.20, 6.14, 1000),
+    _eu("Bern", "CH", 46.95, 7.45, 430),
+    _eu("Graz", "AT", 47.07, 15.44, 450),
+    _eu("Stuttgart", "DE", 48.78, 9.18, 2800),
+    _eu("Dusseldorf", "DE", 51.23, 6.78, 1600),
+    _eu("Cologne", "DE", 50.94, 6.96, 2100),
+    _eu("Leipzig", "DE", 51.34, 12.37, 1000),
+    _eu("Dresden", "DE", 51.05, 13.74, 790),
+    _eu("Nuremberg", "DE", 49.45, 11.08, 1400),
+    _eu("Gothenburg", "SE", 57.71, 11.97, 1000),
+    _eu("Malmo", "SE", 55.60, 13.00, 740),
+    _eu("Bergen", "NO", 60.39, 5.32, 420),
+    _eu("Tallinn", "EE", 59.44, 24.75, 620),
+    _eu("Riga", "LV", 56.95, 24.11, 980),
+    _eu("Vilnius", "LT", 54.69, 25.28, 810),
+    _eu("Bratislava", "SK", 48.15, 17.11, 720),
+    _eu("Ljubljana", "SI", 46.06, 14.51, 540),
+    _eu("Porto", "PT", 41.15, -8.61, 1700),
+    _eu("Bilbao", "ES", 43.26, -2.93, 1000),
+    _eu("Bordeaux", "FR", 44.84, -0.58, 1300),
+    _eu("Toulouse", "FR", 43.60, 1.44, 1400),
+    _eu("Nice", "FR", 43.70, 7.27, 1000),
+    _eu("Strasbourg", "FR", 48.57, 7.75, 790),
+    _eu("Antwerp", "BE", 51.22, 4.40, 1050),
+    _eu("Luxembourg", "LU", 49.61, 6.13, 650),
+    _eu("Edinburgh", "GB", 55.95, -3.19, 900),
+    _eu("Manchester", "GB", 53.48, -2.24, 2800),
+    _eu("Birmingham UK", "GB", 52.49, -1.89, 2900),
+    _eu("Cagliari", "IT", 39.22, 9.12, 430),
+    _eu("Palermo", "IT", 38.12, 13.36, 1200),
+    _eu("Arezzo", "IT", 43.46, 11.88, 100),
+)
+
+
+@dataclass
+class CityCatalog:
+    """Lookup structure over the city dataset."""
+
+    cities: tuple[City, ...] = field(default_factory=lambda: US_CITIES + EU_CITIES)
+
+    def __post_init__(self) -> None:
+        self._by_name = {c.name: c for c in self.cities}
+        if len(self._by_name) != len(self.cities):
+            names = [c.name for c in self.cities]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(f"duplicate city names in catalogue: {dupes}")
+
+    def __len__(self) -> int:
+        return len(self.cities)
+
+    def __iter__(self) -> Iterator[City]:
+        return iter(self.cities)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> City:
+        """Return the city named ``name`` or raise :class:`KeyError`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown city {name!r}") from None
+
+    def by_continent(self, continent: str) -> list[City]:
+        """All cities on the given continent ("US" or "EU")."""
+        return [c for c in self.cities if c.continent == continent]
+
+    def names(self) -> list[str]:
+        """All city names, in catalogue order."""
+        return [c.name for c in self.cities]
+
+    def zone_ids(self) -> list[str]:
+        """Sorted unique zone ids referenced by the catalogue."""
+        return sorted({c.zone_id for c in self.cities})
+
+    def coordinates_array(self, names: list[str] | None = None) -> np.ndarray:
+        """(N, 2) array of [lat, lon] for the named cities (all cities by default)."""
+        selected = [self.get(n) for n in names] if names is not None else list(self.cities)
+        return np.array([[c.lat, c.lon] for c in selected], dtype=float)
+
+    def populations(self, names: list[str] | None = None) -> np.ndarray:
+        """(N,) array of metro populations (thousands) for the named cities."""
+        selected = [self.get(n) for n in names] if names is not None else list(self.cities)
+        return np.array([c.population_k for c in selected], dtype=float)
+
+
+_DEFAULT_CATALOG: CityCatalog | None = None
+
+
+def default_city_catalog() -> CityCatalog:
+    """Return the module-level default :class:`CityCatalog` (cached)."""
+    global _DEFAULT_CATALOG
+    if _DEFAULT_CATALOG is None:
+        _DEFAULT_CATALOG = CityCatalog()
+    return _DEFAULT_CATALOG

@@ -1,0 +1,428 @@
+"""Synthetic Electricity-Maps-like zone catalogue (148 carbon zones).
+
+The paper uses hourly 2023 carbon-intensity traces for 148 zones (54 US, 45
+Europe, 49 elsewhere). We cannot redistribute that data, so each zone here is
+described by a :class:`ZoneSpec` — an annual generation-mix plus variability
+parameters — from which :mod:`repro.carbon.synthetic` generates a full hourly
+year. The mixes of the zones that appear in the paper's figures are hand-
+calibrated so that the paper's reported spreads hold (see DESIGN.md §2):
+
+* Central-EU region: ~10.8x spread between the yearly-greenest (Lyon, nuclear
+  hydro) and the dirtiest (Munich, fossil-heavy) zone (Figure 3b).
+* West-US region: ~2.7x spread (Figure 3a), with Kingman showing a strong
+  solar seasonal swing (Figure 4b) and Flagstaff a large diurnal swing.
+* Figure-1 zones: Ontario (nuclear+hydro, very low), California (solar with a
+  pronounced duck curve), New York (mixed), Poland (coal-heavy, very high).
+
+The remaining zones are generated procedurally with plausible mixes so the
+catalogue reaches the paper's 148-zone scale for the Section-3 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import substream
+
+#: Lifecycle carbon-intensity factors per generation source, g CO2eq/kWh
+#: (IPCC median values, as used by Electricity Maps).
+SOURCE_INTENSITY: dict[str, float] = {
+    "hydro": 24.0,
+    "solar": 45.0,
+    "wind": 11.0,
+    "nuclear": 12.0,
+    "geothermal": 38.0,
+    "biomass": 230.0,
+    "gas": 490.0,
+    "oil": 650.0,
+    "coal": 820.0,
+}
+
+#: Sources considered "fossil" for mix summaries (Figure 1a groups these).
+FOSSIL_SOURCES: tuple[str, ...] = ("gas", "oil", "coal")
+
+#: Sources with intermittent output (their hourly share is modulated).
+VARIABLE_SOURCES: tuple[str, ...] = ("solar", "wind", "hydro")
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """Static description of a carbon zone.
+
+    Parameters
+    ----------
+    zone_id:
+        Electricity-Maps-style identifier, e.g. ``"US-FL-MIA"`` or ``"EU-PL"``.
+    name:
+        Human-readable name.
+    continent:
+        ``"US"``, ``"EU"``, or ``"OTHER"``.
+    mix:
+        Annual-average generation shares per source; must sum to ~1.
+    solar_seasonality:
+        0–1 multiplier describing how much the solar resource varies between
+        winter and summer (0 = flat, 1 = strong seasonal swing).
+    wind_volatility:
+        Standard deviation of the AR(1) process modulating wind output.
+    noise_scale:
+        Relative white-noise level added to the final intensity series.
+    area_km2:
+        Approximate area of the zone (used only for reporting; the paper notes
+        zones can be as small as ~124 km² for Tallahassee).
+    """
+
+    zone_id: str
+    name: str
+    continent: str
+    mix: dict[str, float]
+    solar_seasonality: float = 0.5
+    wind_volatility: float = 0.25
+    noise_scale: float = 0.03
+    area_km2: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.mix) - set(SOURCE_INTENSITY)
+        if unknown:
+            raise ValueError(f"zone {self.zone_id}: unknown sources {sorted(unknown)}")
+        total = sum(self.mix.values())
+        if not 0.98 <= total <= 1.02:
+            raise ValueError(
+                f"zone {self.zone_id}: generation mix must sum to 1 (got {total:.3f})"
+            )
+
+    @property
+    def normalized_mix(self) -> dict[str, float]:
+        """Generation mix re-normalised to sum exactly to 1."""
+        total = sum(self.mix.values())
+        return {src: share / total for src, share in self.mix.items()}
+
+    @property
+    def annual_mean_intensity(self) -> float:
+        """Mix-weighted annual-average carbon intensity, g CO2eq/kWh."""
+        return sum(share * SOURCE_INTENSITY[src] for src, share in self.normalized_mix.items())
+
+    @property
+    def fossil_share(self) -> float:
+        """Fraction of generation coming from fossil sources."""
+        mix = self.normalized_mix
+        return sum(mix.get(src, 0.0) for src in FOSSIL_SOURCES)
+
+    def grouped_mix(self) -> dict[str, float]:
+        """Mix grouped into the five categories plotted in Figure 1a."""
+        mix = self.normalized_mix
+        return {
+            "hydro": mix.get("hydro", 0.0),
+            "solar": mix.get("solar", 0.0),
+            "wind": mix.get("wind", 0.0),
+            "nuclear": mix.get("nuclear", 0.0),
+            "fossil fuels": sum(mix.get(s, 0.0) for s in FOSSIL_SOURCES)
+            + mix.get("biomass", 0.0)
+            + mix.get("geothermal", 0.0),
+        }
+
+
+def _zone(zone_id: str, name: str, continent: str, area_km2: float = 10_000.0,
+          solar_seasonality: float = 0.5, wind_volatility: float = 0.25,
+          noise_scale: float = 0.03, **mix: float) -> ZoneSpec:
+    return ZoneSpec(zone_id=zone_id, name=name, continent=continent, mix=mix,
+                    solar_seasonality=solar_seasonality,
+                    wind_volatility=wind_volatility, noise_scale=noise_scale,
+                    area_km2=area_km2)
+
+
+# ---------------------------------------------------------------------------
+# Hand-calibrated zones (everything that appears in a paper figure or table).
+# ---------------------------------------------------------------------------
+
+_EXPLICIT_ZONES: tuple[ZoneSpec, ...] = (
+    # --- Figure 1 reference zones -----------------------------------------
+    _zone("CA-ON", "Ontario", "OTHER", area_km2=917_741.0,
+          nuclear=0.55, hydro=0.25, wind=0.08, solar=0.02, gas=0.09, biomass=0.01),
+    _zone("US-CA", "California ISO", "US", area_km2=423_970.0, solar_seasonality=0.7,
+          solar=0.27, wind=0.08, hydro=0.10, nuclear=0.08, geothermal=0.05,
+          gas=0.40, coal=0.0, biomass=0.02),
+    _zone("US-NY", "New York ISO", "US", area_km2=141_297.0,
+          hydro=0.22, nuclear=0.21, wind=0.05, solar=0.03, gas=0.46, oil=0.02, biomass=0.01),
+    _zone("EU-PL", "Poland", "EU", area_km2=312_696.0,
+          coal=0.61, gas=0.10, wind=0.13, solar=0.07, hydro=0.02, biomass=0.05, oil=0.02),
+    # --- Florida mesoscale region ------------------------------------------
+    _zone("US-FL-JAX", "Jacksonville (JEA)", "US", area_km2=2_265.0,
+          gas=0.61, coal=0.12, solar=0.06, nuclear=0.16, oil=0.02, biomass=0.03),
+    _zone("US-FL-MIA", "Miami (FPL South)", "US", area_km2=5_040.0,
+          nuclear=0.34, solar=0.17, gas=0.46, hydro=0.0, oil=0.01, biomass=0.02),
+    _zone("US-FL-TPA", "Tampa (TECO)", "US", area_km2=5_200.0,
+          gas=0.69, coal=0.13, solar=0.14, oil=0.01, biomass=0.03),
+    _zone("US-FL-ORL", "Orlando (OUC/Duke)", "US", area_km2=9_600.0,
+          gas=0.63, coal=0.17, solar=0.11, nuclear=0.05, oil=0.01, biomass=0.03),
+    _zone("US-FL-TAL", "Tallahassee", "US", area_km2=123.73,
+          gas=0.80, solar=0.09, hydro=0.03, coal=0.05, oil=0.01, biomass=0.02),
+    # --- West-US mesoscale region -------------------------------------------
+    _zone("US-NV-LAS", "Las Vegas (NV Energy)", "US", area_km2=20_800.0, solar_seasonality=0.65,
+          solar=0.24, gas=0.58, hydro=0.05, coal=0.06, wind=0.01, geothermal=0.06),
+    _zone("US-AZ-KNG", "Kingman (UniSource)", "US", area_km2=34_500.0, solar_seasonality=0.85,
+          solar=0.32, gas=0.44, wind=0.08, hydro=0.09, coal=0.07),
+    _zone("US-CA-SAN", "San Diego (SDG&E)", "US", area_km2=10_700.0, solar_seasonality=0.7,
+          solar=0.38, gas=0.33, wind=0.08, nuclear=0.09, hydro=0.05, geothermal=0.07),
+    _zone("US-AZ-PHX", "Phoenix (SRP/APS)", "US", area_km2=37_700.0, solar_seasonality=0.6,
+          nuclear=0.22, solar=0.13, gas=0.37, coal=0.24, hydro=0.03, wind=0.01),
+    _zone("US-AZ-FLG", "Flagstaff (APS North)", "US", area_km2=48_300.0, solar_seasonality=0.55,
+          coal=0.48, gas=0.30, solar=0.12, wind=0.06, hydro=0.04),
+    # --- Italy mesoscale region ----------------------------------------------
+    _zone("EU-IT-MIL", "Milan (North Italy)", "EU", area_km2=23_900.0,
+          gas=0.52, hydro=0.22, solar=0.11, wind=0.02, coal=0.04, oil=0.02,
+          biomass=0.05, geothermal=0.02),
+    _zone("EU-IT-ROM", "Rome (Central Italy)", "EU", area_km2=17_200.0,
+          gas=0.48, hydro=0.10, solar=0.15, wind=0.06, geothermal=0.12, biomass=0.05, oil=0.04),
+    _zone("EU-IT-CAG", "Cagliari (Sardinia)", "EU", area_km2=24_100.0,
+          coal=0.28, gas=0.23, oil=0.09, solar=0.18, wind=0.18, hydro=0.02, biomass=0.02),
+    _zone("EU-IT-PAL", "Palermo (Sicily)", "EU", area_km2=25_700.0,
+          gas=0.55, oil=0.08, solar=0.17, wind=0.16, hydro=0.02, biomass=0.02),
+    _zone("EU-IT-ARE", "Arezzo (Tuscany)", "EU", area_km2=3_230.0,
+          gas=0.38, geothermal=0.28, solar=0.13, hydro=0.09, wind=0.05, biomass=0.07),
+    # --- Central-EU mesoscale region -----------------------------------------
+    _zone("EU-CH-BRN", "Bern (Switzerland)", "EU", area_km2=5_960.0,
+          hydro=0.58, nuclear=0.32, solar=0.06, wind=0.01, gas=0.02, biomass=0.01),
+    _zone("EU-DE-MUC", "Munich (Bavaria)", "EU", area_km2=70_550.0,
+          coal=0.28, gas=0.28, solar=0.15, wind=0.10, hydro=0.06, nuclear=0.0,
+          biomass=0.11, oil=0.02),
+    _zone("EU-FR-LYS", "Lyon (Auvergne-Rhone-Alpes)", "EU", area_km2=69_700.0,
+          nuclear=0.70, hydro=0.23, solar=0.03, wind=0.03, gas=0.01),
+    _zone("EU-AT-GRZ", "Graz (Styria)", "EU", area_km2=16_400.0,
+          hydro=0.48, gas=0.18, wind=0.09, solar=0.08, coal=0.05, biomass=0.11, oil=0.01),
+    # --- Other US state-level zones ------------------------------------------
+    _zone("US-NY2", "New York Upstate", "US", hydro=0.30, nuclear=0.30, gas=0.32,
+          wind=0.05, solar=0.03),
+    _zone("US-FL", "Florida (FRCC)", "US", gas=0.70, nuclear=0.12, solar=0.09,
+          coal=0.06, oil=0.01, biomass=0.02),
+    _zone("US-TX", "Texas (ERCOT)", "US", gas=0.43, wind=0.24, coal=0.14, solar=0.09,
+          nuclear=0.09, hydro=0.01),
+    _zone("US-WA", "Washington", "US", hydro=0.65, gas=0.12, wind=0.08, nuclear=0.08,
+          solar=0.02, coal=0.04, biomass=0.01),
+    _zone("US-OR", "Oregon", "US", hydro=0.52, gas=0.22, wind=0.14, solar=0.05, coal=0.06,
+          biomass=0.01),
+    _zone("US-UT", "Utah", "US", coal=0.53, gas=0.27, solar=0.11, wind=0.04, hydro=0.03,
+          geothermal=0.02),
+    _zone("US-CO", "Colorado", "US", coal=0.33, gas=0.26, wind=0.28, solar=0.09, hydro=0.04),
+    _zone("US-NM", "New Mexico", "US", coal=0.26, gas=0.25, wind=0.36, solar=0.10, nuclear=0.0,
+          hydro=0.03),
+    _zone("US-NV", "Nevada", "US", gas=0.56, solar=0.25, geothermal=0.09, hydro=0.05,
+          coal=0.04, wind=0.01),
+    _zone("US-AZ", "Arizona", "US", nuclear=0.28, gas=0.33, coal=0.22, solar=0.12,
+          hydro=0.04, wind=0.01),
+    _zone("US-CA2", "California North", "US", solar=0.25, hydro=0.15, gas=0.38, wind=0.09,
+          nuclear=0.08, geothermal=0.05),
+    _zone("US-IL", "Illinois", "US", nuclear=0.53, coal=0.17, gas=0.13, wind=0.14, solar=0.03),
+    _zone("US-PA", "Pennsylvania", "US", gas=0.53, nuclear=0.32, coal=0.10, wind=0.03,
+          hydro=0.01, solar=0.01),
+    _zone("US-OH", "Ohio", "US", gas=0.52, coal=0.33, nuclear=0.11, wind=0.03, solar=0.01),
+    _zone("US-MI", "Michigan", "US", gas=0.33, coal=0.26, nuclear=0.29, wind=0.09, solar=0.02,
+          hydro=0.01),
+    _zone("US-GA", "Georgia", "US", gas=0.45, nuclear=0.27, coal=0.15, solar=0.07, hydro=0.03,
+          biomass=0.03),
+    _zone("US-NC", "North Carolina", "US", gas=0.35, nuclear=0.33, coal=0.15, solar=0.10,
+          hydro=0.05, biomass=0.02),
+    _zone("US-TN", "Tennessee", "US", nuclear=0.44, gas=0.20, coal=0.20, hydro=0.13,
+          solar=0.02, wind=0.01),
+    _zone("US-MA", "Massachusetts", "US", gas=0.68, solar=0.14, nuclear=0.0, hydro=0.05,
+          wind=0.05, oil=0.03, biomass=0.05),
+    _zone("US-MN", "Minnesota", "US", wind=0.25, coal=0.24, nuclear=0.24, gas=0.18,
+          solar=0.05, hydro=0.02, biomass=0.02),
+    _zone("US-WI", "Wisconsin", "US", gas=0.36, coal=0.34, nuclear=0.15, wind=0.08,
+          solar=0.04, hydro=0.03),
+    _zone("US-MO", "Missouri", "US", coal=0.61, gas=0.12, nuclear=0.12, wind=0.11,
+          solar=0.02, hydro=0.02),
+    _zone("US-LA", "Louisiana", "US", gas=0.67, nuclear=0.16, coal=0.09, biomass=0.03,
+          solar=0.02, hydro=0.01, oil=0.02),
+    _zone("US-OK", "Oklahoma", "US", gas=0.42, wind=0.43, coal=0.09, hydro=0.04, solar=0.02),
+    _zone("US-NE", "Nebraska", "US", coal=0.47, wind=0.30, nuclear=0.14, gas=0.05, hydro=0.03,
+          solar=0.01),
+    _zone("US-IA", "Iowa", "US", wind=0.59, coal=0.23, gas=0.11, nuclear=0.04, solar=0.02,
+          hydro=0.01),
+    _zone("US-ID", "Idaho", "US", hydro=0.51, gas=0.21, wind=0.15, solar=0.07, geothermal=0.03,
+          biomass=0.03),
+    _zone("US-VA", "Virginia", "US", gas=0.56, nuclear=0.29, solar=0.06, coal=0.04,
+          biomass=0.03, hydro=0.02),
+    _zone("US-MD", "Maryland", "US", nuclear=0.40, gas=0.38, coal=0.11, solar=0.05,
+          hydro=0.04, wind=0.02),
+    _zone("US-DC", "District of Columbia", "US", gas=0.74, solar=0.10, oil=0.04, coal=0.06,
+          biomass=0.06),
+    _zone("US-IN", "Indiana", "US", coal=0.47, gas=0.34, wind=0.10, solar=0.05, hydro=0.02,
+          biomass=0.02),
+    _zone("US-KY", "Kentucky", "US", coal=0.68, gas=0.24, hydro=0.06, solar=0.01, wind=0.01),
+    _zone("US-SC", "South Carolina", "US", nuclear=0.54, gas=0.24, coal=0.13, solar=0.04,
+          hydro=0.03, biomass=0.02),
+    _zone("US-AL", "Alabama", "US", nuclear=0.32, gas=0.35, coal=0.19, hydro=0.09,
+          solar=0.02, biomass=0.03),
+    _zone("US-CT", "Connecticut", "US", nuclear=0.38, gas=0.54, solar=0.04, hydro=0.01,
+          oil=0.01, biomass=0.02),
+    _zone("US-RI", "Rhode Island", "US", gas=0.89, solar=0.06, wind=0.04, hydro=0.01),
+    _zone("US-AK", "Alaska", "US", gas=0.44, hydro=0.27, oil=0.14, coal=0.10, wind=0.05),
+    _zone("US-HI", "Hawaii", "US", oil=0.66, solar=0.17, wind=0.08, coal=0.0, hydro=0.01,
+          geothermal=0.03, biomass=0.05),
+    # --- Other EU country-level zones ----------------------------------------
+    _zone("EU-DE", "Germany", "EU", coal=0.26, gas=0.16, wind=0.27, solar=0.12, hydro=0.04,
+          biomass=0.09, nuclear=0.01, oil=0.05),
+    _zone("EU-FR", "France", "EU", nuclear=0.65, hydro=0.12, wind=0.09, solar=0.05, gas=0.07,
+          biomass=0.02),
+    _zone("EU-GB", "Great Britain", "EU", gas=0.34, wind=0.29, nuclear=0.14, solar=0.05,
+          biomass=0.09, hydro=0.02, coal=0.01, oil=0.06),
+    _zone("EU-ES", "Spain", "EU", wind=0.24, nuclear=0.20, solar=0.17, gas=0.21, hydro=0.12,
+          coal=0.02, biomass=0.04),
+    _zone("EU-PT", "Portugal", "EU", wind=0.27, hydro=0.26, solar=0.13, gas=0.24, coal=0.0,
+          biomass=0.10),
+    _zone("EU-IT", "Italy", "EU", gas=0.46, hydro=0.16, solar=0.12, wind=0.08, coal=0.05,
+          geothermal=0.05, biomass=0.06, oil=0.02),
+    _zone("EU-AT", "Austria", "EU", hydro=0.60, wind=0.11, gas=0.13, solar=0.07, biomass=0.07,
+          coal=0.01, oil=0.01),
+    _zone("EU-CH", "Switzerland", "EU", hydro=0.57, nuclear=0.36, solar=0.05, wind=0.01,
+          gas=0.01),
+    _zone("EU-BE", "Belgium", "EU", nuclear=0.46, gas=0.26, wind=0.15, solar=0.08, hydro=0.01,
+          biomass=0.04),
+    _zone("EU-NL", "Netherlands", "EU", gas=0.38, wind=0.27, solar=0.17, coal=0.09, nuclear=0.03,
+          biomass=0.06),
+    _zone("EU-NO", "Norway", "EU", hydro=0.89, wind=0.09, gas=0.02),
+    _zone("EU-SE", "Sweden", "EU", hydro=0.41, nuclear=0.29, wind=0.21, solar=0.02, biomass=0.07),
+    _zone("EU-DK", "Denmark", "EU", wind=0.54, biomass=0.21, solar=0.10, coal=0.09, gas=0.06),
+    _zone("EU-FI", "Finland", "EU", nuclear=0.35, hydro=0.19, wind=0.18, biomass=0.17, coal=0.04,
+          gas=0.03, solar=0.01, oil=0.03),
+    _zone("EU-IE", "Ireland", "EU", gas=0.46, wind=0.34, coal=0.05, solar=0.03, hydro=0.03,
+          biomass=0.03, oil=0.06),
+    _zone("EU-CZ", "Czechia", "EU", coal=0.40, nuclear=0.37, gas=0.08, solar=0.04, hydro=0.04,
+          biomass=0.05, wind=0.02),
+    _zone("EU-SK", "Slovakia", "EU", nuclear=0.61, hydro=0.15, gas=0.10, solar=0.03, coal=0.06,
+          biomass=0.05),
+    _zone("EU-SI", "Slovenia", "EU", nuclear=0.37, hydro=0.31, coal=0.21, solar=0.05, gas=0.04,
+          biomass=0.02),
+    _zone("EU-HR", "Croatia", "EU", hydro=0.41, gas=0.22, wind=0.15, coal=0.09, solar=0.04,
+          biomass=0.06, oil=0.03),
+    _zone("EU-HU", "Hungary", "EU", nuclear=0.44, gas=0.25, solar=0.13, coal=0.08, wind=0.02,
+          biomass=0.06, oil=0.02),
+    _zone("EU-RO", "Romania", "EU", hydro=0.28, nuclear=0.20, gas=0.17, coal=0.15, wind=0.12,
+          solar=0.06, biomass=0.02),
+    _zone("EU-BG", "Bulgaria", "EU", coal=0.37, nuclear=0.38, hydro=0.10, solar=0.08, wind=0.04,
+          gas=0.02, biomass=0.01),
+    _zone("EU-GR", "Greece", "EU", gas=0.37, wind=0.21, solar=0.18, hydro=0.10, coal=0.10,
+          oil=0.04),
+    _zone("EU-EE", "Estonia", "EU", oil=0.42, wind=0.21, solar=0.10, biomass=0.20, hydro=0.01,
+          gas=0.06),
+    _zone("EU-LV", "Latvia", "EU", hydro=0.52, gas=0.29, wind=0.07, biomass=0.10, solar=0.02),
+    _zone("EU-LT", "Lithuania", "EU", wind=0.42, hydro=0.12, solar=0.12, gas=0.19, biomass=0.13,
+          oil=0.02),
+    _zone("EU-LU", "Luxembourg", "EU", gas=0.25, wind=0.26, solar=0.21, hydro=0.10, biomass=0.18),
+)
+
+
+# ---------------------------------------------------------------------------
+# Procedural fill zones so the catalogue reaches the paper's 148-zone scale.
+# ---------------------------------------------------------------------------
+
+#: Target zone counts from Section 6.1.1: 54 US + 45 Europe + 49 elsewhere.
+TARGET_COUNTS: dict[str, int] = {"US": 54, "EU": 45, "OTHER": 49}
+
+#: Archetype mixes used to procedurally generate filler zones.
+_ARCHETYPES: tuple[dict[str, float], ...] = (
+    {"hydro": 0.70, "gas": 0.15, "wind": 0.10, "solar": 0.05},
+    {"nuclear": 0.55, "hydro": 0.20, "gas": 0.15, "wind": 0.05, "solar": 0.05},
+    {"coal": 0.55, "gas": 0.25, "wind": 0.10, "solar": 0.10},
+    {"gas": 0.60, "solar": 0.20, "wind": 0.10, "hydro": 0.10},
+    {"wind": 0.40, "gas": 0.30, "solar": 0.15, "hydro": 0.15},
+    {"gas": 0.45, "coal": 0.25, "nuclear": 0.15, "wind": 0.10, "solar": 0.05},
+    {"oil": 0.45, "gas": 0.30, "solar": 0.15, "wind": 0.10},
+    {"solar": 0.30, "gas": 0.40, "wind": 0.15, "hydro": 0.15},
+)
+
+
+def _procedural_zones(continent: str, count: int, seed: int) -> list[ZoneSpec]:
+    """Generate ``count`` filler zones for ``continent`` with plausible mixes."""
+    rng = substream(seed, "filler-zones", continent)
+    zones: list[ZoneSpec] = []
+    for i in range(count):
+        archetype = _ARCHETYPES[int(rng.integers(len(_ARCHETYPES)))]
+        # Perturb the archetype shares with Dirichlet noise and renormalise.
+        sources = list(archetype)
+        base = np.array([archetype[s] for s in sources])
+        shares = rng.dirichlet(base * 25.0)
+        mix = {s: float(v) for s, v in zip(sources, shares)}
+        zones.append(ZoneSpec(
+            zone_id=f"{continent}-Z{i:03d}",
+            name=f"{continent} filler zone {i}",
+            continent=continent,
+            mix=mix,
+            solar_seasonality=float(rng.uniform(0.3, 0.8)),
+            wind_volatility=float(rng.uniform(0.15, 0.35)),
+            noise_scale=float(rng.uniform(0.02, 0.05)),
+            area_km2=float(rng.uniform(500.0, 100_000.0)),
+        ))
+    return zones
+
+
+@dataclass
+class ZoneCatalog:
+    """Catalogue of carbon zones, indexable by zone id."""
+
+    zones: tuple[ZoneSpec, ...]
+
+    def __post_init__(self) -> None:
+        self._by_id = {z.zone_id: z for z in self.zones}
+        if len(self._by_id) != len(self.zones):
+            ids = [z.zone_id for z in self.zones]
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate zone ids: {dupes}")
+
+    def __len__(self) -> int:
+        return len(self.zones)
+
+    def __iter__(self) -> Iterator[ZoneSpec]:
+        return iter(self.zones)
+
+    def __contains__(self, zone_id: str) -> bool:
+        return zone_id in self._by_id
+
+    def get(self, zone_id: str) -> ZoneSpec:
+        """Return the zone spec for ``zone_id`` or raise :class:`KeyError`."""
+        try:
+            return self._by_id[zone_id]
+        except KeyError:
+            raise KeyError(f"unknown carbon zone {zone_id!r}") from None
+
+    def ids(self) -> list[str]:
+        """All zone ids, in catalogue order."""
+        return [z.zone_id for z in self.zones]
+
+    def by_continent(self, continent: str) -> list[ZoneSpec]:
+        """All zones on the given continent."""
+        return [z for z in self.zones if z.continent == continent]
+
+    def counts_by_continent(self) -> dict[str, int]:
+        """Number of zones per continent label."""
+        counts: dict[str, int] = {}
+        for z in self.zones:
+            counts[z.continent] = counts.get(z.continent, 0) + 1
+        return counts
+
+
+def build_zone_catalog(seed: int = 0) -> ZoneCatalog:
+    """Build the full 148-zone catalogue (explicit zones + procedural fillers)."""
+    zones = list(_EXPLICIT_ZONES)
+    counts: dict[str, int] = {}
+    for z in zones:
+        counts[z.continent] = counts.get(z.continent, 0) + 1
+    for continent, target in TARGET_COUNTS.items():
+        deficit = target - counts.get(continent, 0)
+        if deficit > 0:
+            zones.extend(_procedural_zones(continent, deficit, seed))
+    return ZoneCatalog(zones=tuple(zones))
+
+
+_DEFAULT_CATALOG: ZoneCatalog | None = None
+
+
+def default_zone_catalog() -> ZoneCatalog:
+    """Return the module-level default :class:`ZoneCatalog` (cached, seed 0)."""
+    global _DEFAULT_CATALOG
+    if _DEFAULT_CATALOG is None:
+        _DEFAULT_CATALOG = build_zone_catalog()
+    return _DEFAULT_CATALOG

@@ -1,0 +1,78 @@
+"""Mesoscale study regions used throughout the paper's figures.
+
+A *mesoscale region* is a group of five nearby cities, each assumed to host an
+edge data center (Section 3.1, Figure 2). The paper studies four such regions —
+Florida, the West US, Italy, and Central Europe — plus four large reference
+zones used in Figure 1 (Ontario, California, New York, Poland).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.cities import CityCatalog, default_city_catalog
+
+
+@dataclass(frozen=True)
+class MesoscaleRegion:
+    """A named group of cities forming a mesoscale edge deployment."""
+
+    name: str
+    city_names: tuple[str, ...]
+    continent: str  # "US" or "EU"
+
+    def cities(self, catalog: CityCatalog | None = None) -> list:
+        """Resolve the member :class:`~repro.datasets.cities.City` objects."""
+        catalog = catalog or default_city_catalog()
+        return [catalog.get(n) for n in self.city_names]
+
+    def zone_ids(self, catalog: CityCatalog | None = None) -> list[str]:
+        """Carbon zone ids of the member cities, in region order."""
+        return [c.zone_id for c in self.cities(catalog)]
+
+    def __len__(self) -> int:
+        return len(self.city_names)
+
+
+#: Florida region (Figure 2a, Figures 8–10): five Florida cities.
+FLORIDA = MesoscaleRegion(
+    name="Florida",
+    city_names=("Jacksonville", "Miami", "Tampa", "Orlando", "Tallahassee"),
+    continent="US",
+)
+
+#: West-US region (Figure 2b, Figures 3a/4): Nevada/Arizona/California cities.
+WEST_US = MesoscaleRegion(
+    name="West US",
+    city_names=("Las Vegas", "Kingman", "San Diego", "Phoenix", "Flagstaff"),
+    continent="US",
+)
+
+#: Italy region (Figure 2c): five Italian cities.
+ITALY = MesoscaleRegion(
+    name="Italy",
+    city_names=("Milan", "Rome", "Cagliari", "Palermo", "Arezzo"),
+    continent="EU",
+)
+
+#: Central-EU region (Figure 2d, Figures 3b/10): cities in CH/DE/FR/AT/IT.
+CENTRAL_EU = MesoscaleRegion(
+    name="Central EU",
+    city_names=("Bern", "Munich", "Lyon", "Graz", "Milan"),
+    continent="EU",
+)
+
+#: The four large reference zones plotted in Figure 1.
+FIGURE1_ZONES: tuple[str, ...] = ("CA-ON", "US-CA", "US-NY", "EU-PL")
+
+#: All four mesoscale regions in paper order.
+ALL_REGIONS: tuple[MesoscaleRegion, ...] = (FLORIDA, WEST_US, ITALY, CENTRAL_EU)
+
+
+def region_by_name(name: str) -> MesoscaleRegion:
+    """Look up a mesoscale region by (case-insensitive) name."""
+    for region in ALL_REGIONS:
+        if region.name.lower() == name.lower():
+            return region
+    raise KeyError(f"unknown mesoscale region {name!r}; "
+                   f"known regions: {[r.name for r in ALL_REGIONS]}")

@@ -1,0 +1,49 @@
+"""Experiment runners — one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning plain dict/array data
+(the rows or series the corresponding paper artifact reports) and is exercised
+by a benchmark under ``benchmarks/``. See DESIGN.md §4 for the experiment
+index and EXPERIMENTS.md for paper-vs-measured values.
+"""
+
+from repro.experiments import (  # noqa: F401
+    common,
+    fig01_energy_mix,
+    fig02_snapshots,
+    fig03_yearly,
+    fig04_temporal,
+    table1_latency,
+    fig05_radius,
+    fig07_profiles,
+    fig08_florida,
+    fig09_response,
+    fig10_regional,
+    fig11_cdn_year,
+    fig12_latency_sweep,
+    fig13_seasonality,
+    fig14_demand_capacity,
+    fig15_heterogeneity,
+    fig16_tradeoff,
+    fig17_scalability,
+)
+
+__all__ = [
+    "common",
+    "fig01_energy_mix",
+    "fig02_snapshots",
+    "fig03_yearly",
+    "fig04_temporal",
+    "table1_latency",
+    "fig05_radius",
+    "fig07_profiles",
+    "fig08_florida",
+    "fig09_response",
+    "fig10_regional",
+    "fig11_cdn_year",
+    "fig12_latency_sweep",
+    "fig13_seasonality",
+    "fig14_demand_capacity",
+    "fig15_heterogeneity",
+    "fig16_tradeoff",
+    "fig17_scalability",
+]

@@ -1,0 +1,72 @@
+"""Shared helpers for the experiment runners.
+
+Trace generation for a full year is the dominant cost of several experiments,
+so the helpers here cache generated trace sets, latency matrices, and CDN
+footprints per (seed, key) within the process.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.carbon.synthetic import SyntheticTraceGenerator
+from repro.carbon.traces import TraceSet
+from repro.datasets.akamai import CDNFootprint, build_cdn_footprint
+from repro.datasets.cities import default_city_catalog
+from repro.datasets.electricity_maps import default_zone_catalog
+from repro.datasets.regions import MesoscaleRegion, region_by_name
+from repro.network.latency import LatencyMatrix, build_latency_matrix
+
+#: Default seed used by every experiment unless overridden.
+EXPERIMENT_SEED: int = 7
+
+
+@lru_cache(maxsize=16)
+def region_traces(region_name: str, seed: int = EXPERIMENT_SEED,
+                  n_hours: int = 8760) -> TraceSet:
+    """Year-long traces for the zones of one mesoscale region (cached)."""
+    region = region_by_name(region_name)
+    catalog = default_city_catalog()
+    zone_catalog = default_zone_catalog()
+    generator = SyntheticTraceGenerator(seed=seed, n_hours=n_hours)
+    return generator.generate_set(zone_catalog.get(z) for z in region.zone_ids(catalog))
+
+
+@lru_cache(maxsize=8)
+def zone_traces(zone_ids: tuple[str, ...], seed: int = EXPERIMENT_SEED,
+                n_hours: int = 8760) -> TraceSet:
+    """Year-long traces for an arbitrary tuple of zone ids (cached)."""
+    zone_catalog = default_zone_catalog()
+    generator = SyntheticTraceGenerator(seed=seed, n_hours=n_hours)
+    return generator.generate_set(zone_catalog.get(z) for z in zone_ids)
+
+
+@lru_cache(maxsize=8)
+def region_latency(region_name: str) -> LatencyMatrix:
+    """Pairwise one-way latency matrix over one region's cities (cached)."""
+    region = region_by_name(region_name)
+    catalog = default_city_catalog()
+    cities = region.cities(catalog)
+    names = [c.name for c in cities]
+    return build_latency_matrix(names, catalog.coordinates_array(names),
+                                countries=[c.state or c.country for c in cities])
+
+
+@lru_cache(maxsize=4)
+def cdn_footprint(seed: int = EXPERIMENT_SEED, n_sites: int = 496) -> CDNFootprint:
+    """The synthetic CDN footprint (cached)."""
+    return build_cdn_footprint(n_sites=n_sites, seed=seed)
+
+
+@lru_cache(maxsize=4)
+def footprint_traces(seed: int = EXPERIMENT_SEED, n_sites: int = 496) -> TraceSet:
+    """Year-long traces for every zone covered by the CDN footprint (cached)."""
+    footprint = cdn_footprint(seed=seed, n_sites=n_sites)
+    zone_catalog = default_zone_catalog()
+    generator = SyntheticTraceGenerator(seed=seed)
+    return generator.generate_set(zone_catalog.get(z) for z in footprint.zone_ids())
+
+
+def region(name: str) -> MesoscaleRegion:
+    """Shorthand for :func:`repro.datasets.regions.region_by_name`."""
+    return region_by_name(name)

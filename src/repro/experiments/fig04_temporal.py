@@ -1,0 +1,58 @@
+"""Figure 4: spatio-temporal carbon-intensity variation in the West US.
+
+Figure 4a shows two days (Dec 25–27) of hourly intensity for the five West-US
+zones — Flagstaff exhibits a ~300 g/kWh diurnal swing; Figure 4b shows monthly
+means — Kingman swings ~200 g/kWh between March and November due to its solar
+share. The runner returns both series plus the per-zone diurnal and seasonal
+ranges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.carbon.statistics import monthly_means, temporal_range
+from repro.datasets.cities import default_city_catalog
+from repro.datasets.regions import WEST_US
+from repro.experiments.common import EXPERIMENT_SEED, region_traces
+
+#: Hour-of-year of December 25th, 00:00.
+DEC_25_HOUR: int = (365 - 7) * 24
+
+
+def run(seed: int = EXPERIMENT_SEED) -> dict[str, object]:
+    """Two-day hourly series and monthly means for the West-US zones."""
+    catalog = default_city_catalog()
+    traces = region_traces(WEST_US.name, seed=seed)
+    cities = WEST_US.cities(catalog)
+    two_day: dict[str, np.ndarray] = {}
+    monthly: dict[str, dict[str, float]] = {}
+    diurnal_range: dict[str, float] = {}
+    seasonal_range: dict[str, float] = {}
+    for city in cities:
+        trace = traces.get(city.zone_id)
+        two_day[city.name] = trace.window(DEC_25_HOUR, 48)
+        months = monthly_means(traces, city.zone_id)
+        monthly[city.name] = months
+        diurnal_range[city.name] = temporal_range(traces, city.zone_id, DEC_25_HOUR, 48)
+        values = np.array(list(months.values()))
+        seasonal_range[city.name] = float(values.max() - values.min())
+    return {"two_day": two_day, "monthly": monthly,
+            "diurnal_range": diurnal_range, "seasonal_range": seasonal_range}
+
+
+def report(result: dict[str, object]) -> str:
+    """Render the Figure 4 rows as text."""
+    rows = [{"city": city,
+             "two_day_range_g_per_kwh": round(result["diurnal_range"][city], 1),
+             "seasonal_range_g_per_kwh": round(result["seasonal_range"][city], 1)}
+            for city in result["diurnal_range"]]
+    parts = [format_table(rows, title="Figure 4: temporal variation in the West US")]
+    parts.append(format_series({c: list(m.values()) for c, m in result["monthly"].items()},
+                               title="Figure 4b: monthly mean intensity (Jan..Dec)"))
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -1,0 +1,54 @@
+"""Figure 7: energy, GPU memory, and inference time of the ML workloads per device.
+
+The paper highlights a ~45x energy spread across models on one device, a ~2x
+spread across devices for one model, memory footprints of a few hundred MB, and
+inference times from a few to a few tens of milliseconds. The runner returns
+the full profile table and the two spread statistics.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.workloads.profiles import (
+    DEVICE_NAMES,
+    MODEL_NAMES,
+    energy_spread_across_devices,
+    energy_spread_across_models,
+    get_profile,
+)
+
+
+def run() -> dict[str, object]:
+    """The Figure 7 profile table plus the paper's spread statistics."""
+    rows = []
+    for model in MODEL_NAMES:
+        for device in DEVICE_NAMES:
+            profile = get_profile(model, device)
+            rows.append({
+                "model": model,
+                "device": device,
+                "energy_j": profile.energy_per_request_j,
+                "gpu_memory_mb": profile.gpu_memory_mb,
+                "inference_ms": profile.latency_ms,
+            })
+    return {
+        "rows": rows,
+        "energy_spread_across_models": {d: energy_spread_across_models(d) for d in DEVICE_NAMES},
+        "energy_spread_across_devices": {m: energy_spread_across_devices(m) for m in MODEL_NAMES},
+    }
+
+
+def report(result: dict[str, object]) -> str:
+    """Render the Figure 7 table."""
+    parts = [format_table(result["rows"], title="Figure 7: workload profiles")]
+    spread_rows = [{"device": d, "across_model_energy_spread_x": round(v, 1)}
+                   for d, v in result["energy_spread_across_models"].items()]
+    parts.append(format_table(spread_rows, title="Energy spread across models (paper: ~45x)"))
+    device_rows = [{"model": m, "across_device_energy_spread_x": round(v, 1)}
+                   for m, v in result["energy_spread_across_devices"].items()]
+    parts.append(format_table(device_rows, title="Energy spread across devices (paper: ~2x)"))
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(report(run()))

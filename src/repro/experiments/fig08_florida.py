@@ -1,0 +1,60 @@
+"""Figure 8: carbon intensity and per-application emissions across Florida.
+
+The paper runs the CPU-based application for 24 hours on the Florida testbed
+and shows (a) the hourly carbon intensity of the five zones, (b) hourly
+emissions under the Latency-aware policy — which mirror each zone's intensity —
+and (c) hourly emissions under CarbonEdge, which places every application in
+the greenest zone (Miami) so all five emission curves collapse onto one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_series, format_table
+from repro.core.policies.carbon_edge import CarbonEdgePolicy
+from repro.core.policies.latency_aware import LatencyAwarePolicy
+from repro.datasets.regions import FLORIDA
+from repro.experiments.common import EXPERIMENT_SEED
+from repro.testbed.emulation import build_testbed, run_testbed_experiment
+
+#: Hour-of-year at which the 24-hour run starts (a mid-July day).
+DEFAULT_START_HOUR: int = (31 + 28 + 31 + 30 + 31 + 30 + 14) * 24
+
+
+def run(seed: int = EXPERIMENT_SEED, hours: int = 24,
+        start_hour: int = DEFAULT_START_HOUR, workload: str = "Sci",
+        request_rate_rps: float = 10.0) -> dict[str, object]:
+    """Hourly intensity and per-app emission series for both policies."""
+    testbed = build_testbed(FLORIDA, seed=seed)
+    intensity = {
+        site: testbed.carbon.trace(testbed.fleet.datacenter(site).zone_id).window(start_hour, hours)
+        for site in testbed.sites()
+    }
+    results = {}
+    for policy in (LatencyAwarePolicy(), CarbonEdgePolicy()):
+        results[policy.name] = run_testbed_experiment(
+            testbed, policy, workload=workload, hours=hours, start_hour=start_hour,
+            request_rate_rps=request_rate_rps)
+    return {"intensity": intensity, "runs": results, "hours": hours,
+            "start_hour": start_hour}
+
+
+def report(result: dict[str, object]) -> str:
+    """Render the Figure 8 series and totals."""
+    parts = [format_series({k: v for k, v in result["intensity"].items()},
+                           title="Figure 8a: hourly carbon intensity (g CO2eq/kWh)")]
+    for name, run_result in result["runs"].items():
+        totals = run_result.emissions_by_app()
+        rows = [{"app": a, "hosted_at": run_result.hosting_site.get(a, "-"),
+                 "total_emissions_g": round(v, 1)} for a, v in totals.items()]
+        parts.append(format_table(rows, title=f"Figure 8: {name} per-application emissions"))
+    la = result["runs"]["Latency-aware"].total_emissions_g
+    ce = result["runs"]["CarbonEdge"].total_emissions_g
+    parts.append(f"Total: Latency-aware {la:.1f} g vs CarbonEdge {ce:.1f} g "
+                 f"({(la - ce) / la * 100:.1f}% savings)")
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -1,0 +1,80 @@
+"""Figure 10: aggregate emissions and latency overheads per region and workload.
+
+The paper runs the CPU-based application ("Sci") and the GPU-based ResNet50
+serving application on the Florida and Central-EU testbeds for 24 hours and
+reports: total emissions per policy (Latency-aware vs CarbonEdge), the
+resulting savings (39.4% in Florida, 78.7% in Central EU), and the round-trip
+response-time increases (6.6 ms and 10.5 ms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.core.policies.carbon_edge import CarbonEdgePolicy
+from repro.core.policies.latency_aware import LatencyAwarePolicy
+from repro.datasets.regions import CENTRAL_EU, FLORIDA
+from repro.experiments.common import EXPERIMENT_SEED
+from repro.experiments.fig08_florida import DEFAULT_START_HOUR
+from repro.testbed.emulation import build_testbed, run_testbed_experiment
+
+#: Workloads evaluated (CPU pipeline + GPU model serving).
+WORKLOADS: tuple[str, ...] = ("Sci", "ResNet50")
+
+
+def run(seed: int = EXPERIMENT_SEED, hours: int = 24,
+        start_hour: int = DEFAULT_START_HOUR,
+        workloads: tuple[str, ...] = WORKLOADS) -> dict[str, object]:
+    """Per-region, per-workload emissions and latency increases for both policies."""
+    rows = []
+    savings_by_region: dict[str, list[float]] = {}
+    latency_increase_by_region: dict[str, list[float]] = {}
+    for region in (FLORIDA, CENTRAL_EU):
+        testbed = build_testbed(region, seed=seed)
+        for workload in workloads:
+            runs = {}
+            for policy in (LatencyAwarePolicy(), CarbonEdgePolicy()):
+                runs[policy.name] = run_testbed_experiment(
+                    testbed, policy, workload=workload, hours=hours, start_hour=start_hour)
+            base = runs["Latency-aware"]
+            ce = runs["CarbonEdge"]
+            saving = (base.total_emissions_g - ce.total_emissions_g) / base.total_emissions_g * 100.0
+            rt_increase = ce.mean_response_ms() - base.mean_response_ms()
+            rows.append({
+                "region": region.name,
+                "workload": workload,
+                "latency_aware_g": base.total_emissions_g,
+                "carbon_edge_g": ce.total_emissions_g,
+                "savings_pct": saving,
+                "response_increase_ms": rt_increase,
+            })
+            savings_by_region.setdefault(region.name, []).append(saving)
+            latency_increase_by_region.setdefault(region.name, []).append(rt_increase)
+    summary = {
+        region: {
+            "savings_pct": float(np.mean(savings_by_region[region])),
+            "response_increase_ms": float(np.mean(latency_increase_by_region[region])),
+        }
+        for region in savings_by_region
+    }
+    return {"rows": rows, "summary": summary}
+
+
+def report(result: dict[str, object]) -> str:
+    """Render the Figure 10 rows and region summary."""
+    parts = [format_table(
+        [{k: (round(v, 1) if isinstance(v, float) else v) for k, v in row.items()}
+         for row in result["rows"]],
+        title="Figure 10: regional emissions and latency overheads")]
+    summary_rows = [{"region": r, "savings_pct": round(s["savings_pct"], 1),
+                     "response_increase_ms": round(s["response_increase_ms"], 1)}
+                    for r, s in result["summary"].items()]
+    parts.append(format_table(
+        summary_rows,
+        title="Summary (paper: 39.4% / 6.6 ms Florida, 78.7% / 10.5 ms Central EU)"))
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -1,0 +1,75 @@
+"""Figure 13: effect of seasonality on savings, latency, and placement decisions.
+
+The paper plots, month by month: carbon savings (varying by ~3% in the US and
+~10% in Europe), latency increases (varying ~1 ms), the carbon intensity of
+four European cities (Paris, Oslo, Vienna, Zagreb), and how many applications
+CarbonEdge assigns to each of those cities (up to 3x swings).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_series, format_table
+from repro.carbon.statistics import monthly_means
+from repro.datasets.cities import default_city_catalog
+from repro.experiments.common import EXPERIMENT_SEED, zone_traces
+from repro.simulator.cdn import run_cdn_simulation
+from repro.simulator.scenario import CDNScenario
+
+#: The four European cities whose intensity/placements the paper details.
+FOCUS_CITIES: tuple[str, ...] = ("Paris", "Oslo", "Vienna", "Zagreb")
+
+
+def run(seed: int = EXPERIMENT_SEED, max_sites: int | None = None,
+        continents: tuple[str, ...] = ("US", "EU")) -> dict[str, object]:
+    """Monthly savings/latency series plus per-city intensity and placements."""
+    monthly: dict[str, dict[str, list[float]]] = {}
+    results = {}
+    for continent in continents:
+        scenario = CDNScenario(continent=continent, n_epochs=12, max_sites=max_sites, seed=seed)
+        result = run_cdn_simulation(scenario)
+        results[continent] = result
+        monthly[continent] = {
+            "savings_pct": result.monthly_savings_pct("CarbonEdge"),
+            "latency_increase_rtt_ms": result.monthly_latency_increase_rtt_ms("CarbonEdge"),
+        }
+
+    catalog = default_city_catalog()
+    focus = [c for c in FOCUS_CITIES if c in catalog]
+    focus_zone_ids = tuple(catalog.get(c).zone_id for c in focus)
+    traces = zone_traces(focus_zone_ids, seed=seed)
+    intensity_by_city = {
+        city: list(monthly_means(traces, catalog.get(city).zone_id).values())
+        for city in focus
+    }
+    placements_by_city = {}
+    if "EU" in results:
+        per_site = results["EU"].placements_per_site("CarbonEdge")
+        placements_by_city = {city: per_site.get(city, [0] * 12) for city in focus}
+    return {
+        "monthly": monthly,
+        "intensity_by_city": intensity_by_city,
+        "placements_by_city": placements_by_city,
+        "results": results,
+    }
+
+
+def report(result: dict[str, object]) -> str:
+    """Render the Figure 13 series."""
+    parts = []
+    for continent, series in result["monthly"].items():
+        savings = series["savings_pct"]
+        spread = max(savings) - min(savings)
+        parts.append(format_series(
+            series, title=f"Figure 13a/b ({continent}): monthly savings "
+                          f"(spread {spread:.1f}%-points) and RTT latency increase"))
+    parts.append(format_series(result["intensity_by_city"],
+                               title="Figure 13c: monthly mean intensity of focus cities"))
+    if result["placements_by_city"]:
+        rows = [{"city": c, "min_apps": min(v), "max_apps": max(v)}
+                for c, v in result["placements_by_city"].items()]
+        parts.append(format_table(rows, title="Figure 13d: per-city placement swings"))
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(report(run()))

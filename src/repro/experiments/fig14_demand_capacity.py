@@ -1,0 +1,53 @@
+"""Figure 14: effect of demand and capacity distributions on carbon savings.
+
+The paper compares three scenarios — homogeneous demand/capacity, population-
+proportional demand, and population-proportional capacity — and finds that in
+the US, population-driven skew can reduce savings by ~6% (high-carbon,
+high-population sites have no green neighbours), while in Europe the effect is
+under 1.6% with latency changes below 0.6 ms.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.experiments.common import EXPERIMENT_SEED
+from repro.simulator.cdn import run_cdn_simulation
+from repro.simulator.scenario import CDNScenario
+
+#: The three scenarios of Figure 14.
+SCENARIOS: tuple[tuple[str, str, str], ...] = (
+    ("Homo", "homogeneous", "homogeneous"),
+    ("Demand", "population", "homogeneous"),
+    ("Capacity", "homogeneous", "population"),
+)
+
+
+def run(seed: int = EXPERIMENT_SEED, n_epochs: int = 4, max_sites: int | None = None,
+        continents: tuple[str, ...] = ("US", "EU")) -> dict[str, object]:
+    """Carbon savings and latency increases per scenario and continent."""
+    rows = []
+    for continent in continents:
+        for label, demand, capacity in SCENARIOS:
+            scenario = CDNScenario(continent=continent, demand=demand, capacity=capacity,
+                                   n_epochs=n_epochs, max_sites=max_sites,
+                                   servers_per_site=2, seed=seed)
+            result = run_cdn_simulation(scenario)
+            rows.append({
+                "continent": continent,
+                "scenario": label,
+                "carbon_savings_pct": result.carbon_savings_pct("CarbonEdge"),
+                "latency_increase_rtt_ms": result.mean_latency_increase_rtt_ms("CarbonEdge"),
+                "unplaced": result.total_unplaced("CarbonEdge"),
+            })
+    return {"rows": rows}
+
+
+def report(result: dict[str, object]) -> str:
+    """Render the Figure 14 rows."""
+    rows = [{k: (round(v, 1) if isinstance(v, float) else v) for k, v in row.items()}
+            for row in result["rows"]]
+    return format_table(rows, title="Figure 14: effect of demand and capacity distributions")
+
+
+if __name__ == "__main__":
+    print(report(run()))

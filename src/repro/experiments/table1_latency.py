@@ -1,0 +1,46 @@
+"""Table 1: pairwise one-way network latency within Florida and Central Europe.
+
+The paper lists the one-way latencies between every pair of cities in the two
+regional deployments (a few ms within Florida, up to ~16 ms across Central
+Europe). The runner returns the full pairwise matrices plus summary statistics.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+from repro.datasets.regions import CENTRAL_EU, FLORIDA
+from repro.experiments.common import region_latency
+
+
+def run() -> dict[str, object]:
+    """Pairwise one-way latency matrices for the two Table 1 regions."""
+    out: dict[str, object] = {}
+    for region in (FLORIDA, CENTRAL_EU):
+        matrix = region_latency(region.name)
+        pairs = {}
+        for i, a in enumerate(matrix.names):
+            for b in matrix.names[i + 1:]:
+                pairs[(a, b)] = matrix.one_way_ms(a, b)
+        out[region.name] = {
+            "names": list(matrix.names),
+            "pairs": pairs,
+            "mean_ms": matrix.mean_off_diagonal(),
+            "max_ms": float(matrix.matrix_ms.max()),
+        }
+    return out
+
+
+def report(result: dict[str, object]) -> str:
+    """Render Table 1 as text."""
+    parts = []
+    for region_name, data in result.items():
+        rows = [{"pair": f"{a} - {b}", "one_way_ms": round(v, 2)}
+                for (a, b), v in data["pairs"].items()]
+        parts.append(format_table(
+            rows, title=f"Table 1 ({region_name}): mean {data['mean_ms']:.2f} ms, "
+                        f"max {data['max_ms']:.2f} ms"))
+    return "\n\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(report(run()))

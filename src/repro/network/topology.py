@@ -1,0 +1,91 @@
+"""Site topology graph built on networkx.
+
+The topology view is used for reachability analysis (which edge sites can serve
+an application within its latency SLO) and for reporting; placement itself only
+needs the latency matrix, but the graph form makes neighbourhood queries and
+connectivity checks convenient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.network.latency import LatencyMatrix
+
+
+@dataclass
+class SiteTopology:
+    """An undirected graph of edge sites with latency-weighted edges."""
+
+    graph: nx.Graph
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites in the topology."""
+        return self.graph.number_of_nodes()
+
+    def sites(self) -> list[str]:
+        """Site names in insertion order."""
+        return list(self.graph.nodes)
+
+    def latency_ms(self, a: str, b: str) -> float:
+        """One-way latency attribute of the edge between two sites."""
+        if a == b:
+            return 0.0
+        if not self.graph.has_edge(a, b):
+            raise KeyError(f"no edge between {a!r} and {b!r}")
+        return float(self.graph.edges[a, b]["latency_ms"])
+
+    def neighbors_within(self, site: str, max_one_way_ms: float) -> list[str]:
+        """Sites adjacent to ``site`` whose edge latency is within the bound."""
+        if site not in self.graph:
+            raise KeyError(f"unknown site {site!r}")
+        return [n for n in self.graph.neighbors(site)
+                if self.graph.edges[site, n]["latency_ms"] <= max_one_way_ms]
+
+    def restricted(self, max_one_way_ms: float) -> "SiteTopology":
+        """Topology containing only edges within the latency bound."""
+        g = nx.Graph()
+        g.add_nodes_from(self.graph.nodes(data=True))
+        for a, b, data in self.graph.edges(data=True):
+            if data["latency_ms"] <= max_one_way_ms:
+                g.add_edge(a, b, **data)
+        return SiteTopology(graph=g)
+
+    def connected_components(self) -> list[set[str]]:
+        """Connected components (as sets of site names)."""
+        return [set(c) for c in nx.connected_components(self.graph)]
+
+    def is_connected(self) -> bool:
+        """Whether every site can reach every other site through the graph."""
+        return self.n_sites > 0 and nx.is_connected(self.graph)
+
+    def average_degree(self) -> float:
+        """Average node degree."""
+        if self.n_sites == 0:
+            return 0.0
+        return 2.0 * self.graph.number_of_edges() / self.n_sites
+
+
+def build_site_topology(latency: LatencyMatrix,
+                        zone_by_site: dict[str, str] | None = None) -> SiteTopology:
+    """Build a complete topology graph from a latency matrix.
+
+    Each node carries its carbon zone (when provided) as a node attribute and
+    every pair of sites is connected by an edge weighted with its one-way
+    latency.
+    """
+    g = nx.Graph()
+    for name in latency.names:
+        attrs = {"zone_id": zone_by_site.get(name)} if zone_by_site else {}
+        g.add_node(name, **attrs)
+    matrix = latency.matrix_ms
+    n = len(latency.names)
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(latency.names[i], latency.names[j],
+                       latency_ms=float(matrix[i, j]))
+    return SiteTopology(graph=g)

@@ -1,0 +1,85 @@
+"""Time-varying latency traces.
+
+The static latency matrix captures the mean one-way latency between sites; the
+testbed experiments (Figure 9) additionally see request-level variation. A
+:class:`LatencyTrace` models that variation as a mean plus bounded noise, with
+an optional diurnal congestion component (slightly higher latency during local
+busy hours).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import substream
+
+
+@dataclass
+class LatencyTrace:
+    """Per-request one-way latency samples between one site pair."""
+
+    pair: tuple[str, str]
+    mean_ms: float
+    samples_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.samples_ms = np.asarray(self.samples_ms, dtype=float)
+        if self.samples_ms.ndim != 1 or len(self.samples_ms) == 0:
+            raise ValueError("samples_ms must be a non-empty 1-D array")
+        if np.any(self.samples_ms < 0):
+            raise ValueError("latency samples must be non-negative")
+
+    def __len__(self) -> int:
+        return len(self.samples_ms)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile latency (q in [0, 100])."""
+        return float(np.percentile(self.samples_ms, q))
+
+    def mean(self) -> float:
+        """Mean sampled latency."""
+        return float(self.samples_ms.mean())
+
+    def max(self) -> float:
+        """Maximum sampled latency."""
+        return float(self.samples_ms.max())
+
+
+def generate_latency_trace(
+    pair: tuple[str, str],
+    mean_one_way_ms: float,
+    n_samples: int,
+    jitter_fraction: float = 0.12,
+    diurnal_fraction: float = 0.05,
+    seed: int = 0,
+) -> LatencyTrace:
+    """Generate per-request latency samples around a mean one-way latency.
+
+    Parameters
+    ----------
+    pair:
+        (source, destination) names; used to seed the deterministic stream.
+    mean_one_way_ms:
+        Mean one-way latency between the pair.
+    n_samples:
+        Number of request samples to generate (spread uniformly over 24 h).
+    jitter_fraction:
+        Relative standard deviation of the log-normal jitter.
+    diurnal_fraction:
+        Relative amplitude of the diurnal congestion component.
+    seed:
+        Root seed.
+    """
+    if mean_one_way_ms < 0:
+        raise ValueError("mean_one_way_ms must be >= 0")
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    rng = substream(seed, "latency-trace", *pair)
+    hours = np.linspace(0.0, 24.0, n_samples, endpoint=False)
+    diurnal = 1.0 + diurnal_fraction * np.sin(2.0 * np.pi * (hours - 14.0) / 24.0)
+    sigma = np.sqrt(np.log(1.0 + jitter_fraction**2))
+    jitter = rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma, size=n_samples)
+    samples = np.clip(mean_one_way_ms * diurnal * jitter, 0.0, None)
+    return LatencyTrace(pair=pair, mean_ms=float(mean_one_way_ms), samples_ms=samples)

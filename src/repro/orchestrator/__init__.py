@@ -1,0 +1,36 @@
+"""Orchestration substrate (the Sinfonia / Kubernetes stand-in).
+
+The paper implements CarbonEdge on top of Sinfonia, a Kubernetes-based edge
+orchestrator: placement decisions are turned into deployment "recipes" that the
+orchestrator rolls out to the chosen edge data center, clients are told the
+destination address, and telemetry feeds back into the next decision
+(Section 5). This package provides an in-process equivalent:
+
+* :mod:`repro.orchestrator.recipes` — deployment recipes (image, resources,
+  replica count) analogous to Sinfonia RECIPEs / helm charts.
+* :mod:`repro.orchestrator.deployment` — deployment objects with a lifecycle
+  (pending → deploying → running → terminated).
+* :mod:`repro.orchestrator.cluster_state` — the orchestrator's view of fleet
+  state used by the placement service.
+* :mod:`repro.orchestrator.orchestrator` — the edge orchestrator binding the
+  placement service (IncrementalPlacer) to deployments and client bindings.
+* :mod:`repro.orchestrator.profiling` — the profiling service that turns
+  measured workload profiles into placement inputs.
+"""
+
+from repro.orchestrator.recipes import Recipe, recipe_for_application
+from repro.orchestrator.deployment import Deployment, DeploymentState
+from repro.orchestrator.cluster_state import ClusterState
+from repro.orchestrator.profiling import ProfilingService
+from repro.orchestrator.orchestrator import EdgeOrchestrator, ClientBinding
+
+__all__ = [
+    "Recipe",
+    "recipe_for_application",
+    "Deployment",
+    "DeploymentState",
+    "ClusterState",
+    "ProfilingService",
+    "EdgeOrchestrator",
+    "ClientBinding",
+]

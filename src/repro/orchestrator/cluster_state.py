@@ -1,0 +1,73 @@
+"""The orchestrator's view of fleet state.
+
+Algorithm 1 line 8 reads "server telemetry: available capacities, base power,
+mean carbon intensity, current power states". :class:`ClusterState` provides
+that snapshot from the fleet and the carbon-intensity service, which is also
+what the experiments print when reporting utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.carbon.service import CarbonIntensityService
+from repro.cluster.fleet import EdgeFleet
+from repro.cluster.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class ServerSnapshot:
+    """Telemetry snapshot of one server."""
+
+    server_id: str
+    site: str
+    zone_id: str
+    powered_on: bool
+    available_capacity: ResourceVector
+    base_power_w: float
+    utilization: float
+    carbon_intensity: float
+
+
+@dataclass
+class ClusterState:
+    """Snapshot provider over an edge fleet."""
+
+    fleet: EdgeFleet
+    carbon: CarbonIntensityService
+
+    def snapshot(self, hour: int, horizon_hours: int = 24) -> list[ServerSnapshot]:
+        """Per-server telemetry snapshot at the given hour."""
+        out: list[ServerSnapshot] = []
+        for server in self.fleet.servers():
+            out.append(ServerSnapshot(
+                server_id=server.server_id,
+                site=server.site,
+                zone_id=server.zone_id,
+                powered_on=server.is_on,
+                available_capacity=server.available_capacity,
+                base_power_w=server.base_power_w,
+                utilization=server.utilization(),
+                carbon_intensity=self.carbon.forecast_mean(server.zone_id, hour, horizon_hours),
+            ))
+        return out
+
+    def site_utilization(self) -> dict[str, float]:
+        """Mean server utilisation per site."""
+        out: dict[str, float] = {}
+        for dc in self.fleet:
+            if dc.servers:
+                out[dc.site] = float(np.mean([s.utilization() for s in dc.servers]))
+            else:
+                out[dc.site] = 0.0
+        return out
+
+    def powered_on_count(self) -> int:
+        """Number of powered-on servers in the fleet."""
+        return sum(1 for s in self.fleet.servers() if s.is_on)
+
+    def total_base_power_w(self) -> float:
+        """Aggregate base power of powered-on servers, watts."""
+        return sum(s.base_power_w for s in self.fleet.servers() if s.is_on)

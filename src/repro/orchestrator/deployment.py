@@ -1,0 +1,68 @@
+"""Deployment objects and their lifecycle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.orchestrator.recipes import Recipe
+
+
+class DeploymentState(Enum):
+    """Lifecycle states of a deployment."""
+
+    PENDING = "pending"
+    DEPLOYING = "deploying"
+    RUNNING = "running"
+    TERMINATED = "terminated"
+    FAILED = "failed"
+
+
+#: Legal state transitions.
+_TRANSITIONS: dict[DeploymentState, set[DeploymentState]] = {
+    DeploymentState.PENDING: {DeploymentState.DEPLOYING, DeploymentState.FAILED},
+    DeploymentState.DEPLOYING: {DeploymentState.RUNNING, DeploymentState.FAILED},
+    DeploymentState.RUNNING: {DeploymentState.TERMINATED, DeploymentState.FAILED},
+    DeploymentState.TERMINATED: set(),
+    DeploymentState.FAILED: {DeploymentState.DEPLOYING},
+}
+
+
+@dataclass
+class Deployment:
+    """One application deployed (or deploying) on one server."""
+
+    deployment_id: str
+    recipe: Recipe
+    server_id: str
+    site: str
+    state: DeploymentState = DeploymentState.PENDING
+    created_at_s: float = 0.0
+    started_at_s: float | None = None
+    terminated_at_s: float | None = None
+    history: list[DeploymentState] = field(default_factory=list)
+
+    def transition(self, new_state: DeploymentState, at_s: float | None = None) -> None:
+        """Move the deployment to ``new_state``, enforcing legal transitions."""
+        allowed = _TRANSITIONS[self.state]
+        if new_state not in allowed:
+            raise ValueError(
+                f"deployment {self.deployment_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}")
+        self.history.append(self.state)
+        self.state = new_state
+        if new_state is DeploymentState.RUNNING and at_s is not None:
+            self.started_at_s = at_s
+        if new_state is DeploymentState.TERMINATED and at_s is not None:
+            self.terminated_at_s = at_s
+
+    @property
+    def is_active(self) -> bool:
+        """Whether the deployment is pending, deploying, or running."""
+        return self.state in (DeploymentState.PENDING, DeploymentState.DEPLOYING,
+                              DeploymentState.RUNNING)
+
+    @property
+    def app_id(self) -> str:
+        """Application this deployment serves."""
+        return self.recipe.app_id

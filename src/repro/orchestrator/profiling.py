@@ -1,0 +1,66 @@
+"""Profiling service.
+
+The paper's profiling service "collects the application's performance metrics,
+such as latency, power consumption, resource demands" to inform placement
+(Section 5.1). Here the service wraps the static profile table and optionally
+ingests measured samples (from the emulated testbed) to refine the stored
+energy/latency values with an exponential moving average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.profiles import PROFILE_TABLE, WorkloadProfile, get_profile
+
+
+@dataclass
+class ProfilingService:
+    """Serves (and refines) per-device workload profiles.
+
+    Parameters
+    ----------
+    smoothing:
+        Exponential-moving-average weight given to new measurements when
+        refining a profile (0 disables refinement, 1 always takes the latest
+        sample).
+    """
+
+    smoothing: float = 0.3
+    overrides: dict[tuple[str, str], WorkloadProfile] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in [0, 1], got {self.smoothing}")
+
+    def profile(self, workload: str, device: str) -> WorkloadProfile:
+        """Current profile for a (workload, device) pair."""
+        return self.overrides.get((workload, device)) or get_profile(workload, device)
+
+    def known_workloads(self) -> list[str]:
+        """All workloads with at least one profile."""
+        return sorted({w for (w, _), _p in {**PROFILE_TABLE, **self.overrides}.items()})
+
+    def record_measurement(self, workload: str, device: str,
+                           energy_per_request_j: float | None = None,
+                           latency_ms: float | None = None) -> WorkloadProfile:
+        """Fold a new measurement into the stored profile (EMA) and return it."""
+        current = self.profile(workload, device)
+        w = self.smoothing
+        new_energy = current.energy_per_request_j
+        new_latency = current.latency_ms
+        if energy_per_request_j is not None:
+            if energy_per_request_j <= 0:
+                raise ValueError("energy_per_request_j must be positive")
+            new_energy = (1 - w) * current.energy_per_request_j + w * energy_per_request_j
+        if latency_ms is not None:
+            if latency_ms <= 0:
+                raise ValueError("latency_ms must be positive")
+            new_latency = (1 - w) * current.latency_ms + w * latency_ms
+        updated = WorkloadProfile(
+            workload=current.workload, device=current.device,
+            energy_per_request_j=new_energy, latency_ms=new_latency,
+            gpu_memory_mb=current.gpu_memory_mb, cpu_cores=current.cpu_cores,
+            memory_mb=current.memory_mb)
+        self.overrides[(workload, device)] = updated
+        return updated

@@ -1,0 +1,71 @@
+"""Deployment recipes (the Sinfonia RECIPE / helm-chart stand-in).
+
+A recipe captures everything the orchestrator needs to deploy one application:
+the container image, the resource request, the replica count, and the backend
+device preference. Recipes are derived from an application's workload profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer
+from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A deployable description of one application."""
+
+    recipe_id: str
+    app_id: str
+    image: str
+    resources: ResourceVector
+    replicas: int
+    device: str
+    env: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.replicas <= 0:
+            raise ValueError(f"recipe {self.recipe_id}: replicas must be positive")
+
+    def with_replicas(self, replicas: int) -> "Recipe":
+        """A copy of this recipe with a different replica count."""
+        return Recipe(recipe_id=self.recipe_id, app_id=self.app_id, image=self.image,
+                      resources=self.resources, replicas=replicas, device=self.device,
+                      env=self.env)
+
+    @property
+    def total_resources(self) -> ResourceVector:
+        """Resources across all replicas."""
+        return self.resources * float(self.replicas)
+
+
+#: Container images per workload (informational; nothing is actually pulled).
+WORKLOAD_IMAGES: dict[str, str] = {
+    "EfficientNetB0": "registry.local/carbonedge/efficientnet-b0:tensorrt-10.2",
+    "ResNet50": "registry.local/carbonedge/resnet50:tensorrt-10.2",
+    "YOLOv4": "registry.local/carbonedge/yolov4:tensorrt-10.2",
+    "Sci": "registry.local/carbonedge/sensor-pipeline:numpy-1.26",
+}
+
+
+def recipe_for_application(app: Application, server: EdgeServer) -> Recipe:
+    """Build the recipe deploying ``app`` onto ``server``.
+
+    The replica count is the number of model instances needed to sustain the
+    application's request rate given the device's per-request latency.
+    """
+    profile = app.profile_on(server)
+    replicas = max(1, int(-(-app.request_rate_rps // profile.max_request_rate())))
+    image = WORKLOAD_IMAGES.get(app.workload, f"registry.local/carbonedge/{app.workload.lower()}:latest")
+    return Recipe(
+        recipe_id=f"recipe-{app.app_id}-{server.server_id}",
+        app_id=app.app_id,
+        image=image,
+        resources=profile.resource_demand,
+        replicas=replicas,
+        device=profile.device,
+        env=(("CARBON_ZONE", server.zone_id), ("EDGE_SITE", server.site)),
+    )

@@ -1,0 +1,28 @@
+"""Trace-driven CDN-scale simulator (the paper's ~2k-SLOC simulator analogue).
+
+* :mod:`repro.simulator.events` / :mod:`repro.simulator.engine` — a small
+  discrete-event simulation core used for request-level replay.
+* :mod:`repro.simulator.scenario` — CDN scenario configuration (continent,
+  latency limit, epochs, demand/capacity distributions, accelerator mix).
+* :mod:`repro.simulator.cdn` — the year-long CDN simulation driving the
+  placement policies epoch by epoch over the carbon traces.
+* :mod:`repro.simulator.metrics` — per-epoch records and aggregation into the
+  quantities Figures 11–15 report.
+"""
+
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.scenario import CDNScenario
+from repro.simulator.metrics import EpochRecord, SimulationResult
+from repro.simulator.cdn import CDNSimulator, run_cdn_simulation
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "CDNScenario",
+    "EpochRecord",
+    "SimulationResult",
+    "CDNSimulator",
+    "run_cdn_simulation",
+]

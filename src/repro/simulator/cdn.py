@@ -1,0 +1,180 @@
+"""CDN-scale trace-driven simulation (Section 6.3).
+
+The simulator builds a continental CDN fleet from the synthetic Akamai
+footprint, generates application arrivals per placement epoch (optionally
+population-weighted), and runs every policy under test on identical problem
+instances per epoch — the fair comparison the paper's evaluation relies on.
+Carbon accounting uses the epoch-mean carbon intensity of the hosting zone,
+which (for constant-rate applications) equals integrating the hourly trace
+over the epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.synthetic import SyntheticTraceGenerator
+from repro.cluster.fleet import EdgeFleet, build_cdn_fleet
+from repro.cluster.hardware import DEVICE_CATALOG
+from repro.core.policies.base import PlacementPolicy
+from repro.core.policies.carbon_edge import CarbonEdgePolicy
+from repro.core.policies.energy_aware import EnergyAwarePolicy
+from repro.core.policies.intensity_aware import IntensityAwarePolicy
+from repro.core.policies.latency_aware import LatencyAwarePolicy
+from repro.core.problem import PlacementProblem
+from repro.core.validation import validate_solution
+from repro.datasets.akamai import CDNFootprint, build_cdn_footprint
+from repro.datasets.cities import default_city_catalog
+from repro.datasets.electricity_maps import default_zone_catalog
+from repro.network.latency import LatencyMatrix, build_latency_matrix
+from repro.simulator.metrics import EpochRecord, SimulationResult
+from repro.simulator.scenario import CDNScenario
+from repro.workloads.demand import capacity_weights_from_population, population_weights
+from repro.workloads.generator import ApplicationGenerator
+
+
+def default_policies(solver: str = "greedy") -> list[PlacementPolicy]:
+    """The four policies the paper compares (Section 6.1.3)."""
+    return [
+        LatencyAwarePolicy(),
+        EnergyAwarePolicy(solver=solver),
+        IntensityAwarePolicy(),
+        CarbonEdgePolicy(solver=solver),
+    ]
+
+
+@dataclass
+class CDNSimulator:
+    """Year-long CDN simulation for one scenario."""
+
+    scenario: CDNScenario
+    footprint: CDNFootprint | None = None
+    fleet: EdgeFleet = field(init=False)
+    latency: LatencyMatrix = field(init=False)
+    carbon: CarbonIntensityService = field(init=False)
+    generator: ApplicationGenerator = field(init=False)
+
+    def __post_init__(self) -> None:
+        scenario = self.scenario
+        catalog = default_city_catalog()
+        zone_catalog = default_zone_catalog()
+        footprint = self.footprint or build_cdn_footprint(seed=scenario.seed)
+        sites = [s for s in footprint.one_per_city() if s.continent == scenario.continent]
+        if scenario.max_sites is not None and len(sites) > scenario.max_sites:
+            # Keep the most populous cities so demand weighting stays meaningful.
+            sites = sorted(sites, key=lambda s: -s.population_k)[: scenario.max_sites]
+        if len(sites) < 2:
+            raise ValueError("CDN scenario needs at least two sites")
+        from repro.datasets.akamai import CDNFootprint as _FP
+        restricted = _FP(sites=tuple(sites))
+
+        capacity_weights = None
+        if scenario.capacity == "population":
+            capacity_weights = capacity_weights_from_population(
+                [s.city_name for s in sites], catalog)
+        accelerator = DEVICE_CATALOG[scenario.accelerator]
+        self.fleet = build_cdn_fleet(
+            restricted,
+            servers_per_site=scenario.servers_per_site,
+            accelerator=accelerator,
+            accelerator_mix=list(scenario.accelerator_mix) if scenario.accelerator_mix else None,
+            capacity_weights=capacity_weights,
+            seed=scenario.seed,
+        )
+
+        site_names = self.fleet.sites()
+        cities = [catalog.get(name) for name in site_names]
+        self.latency = build_latency_matrix(
+            site_names, catalog.coordinates_array(site_names),
+            countries=[c.state or c.country for c in cities])
+
+        zone_ids = sorted({dc.zone_id for dc in self.fleet})
+        traces = SyntheticTraceGenerator(seed=scenario.seed).generate_set(
+            zone_catalog.get(z) for z in zone_ids)
+        self.carbon = CarbonIntensityService(traces=traces)
+
+        site_weights = None
+        if scenario.demand == "population":
+            weights = population_weights(site_names, catalog)
+            site_weights = [weights[name] for name in site_names]
+        self.generator = ApplicationGenerator(
+            sites=site_names,
+            site_weights=site_weights,
+            workload_mix=dict(scenario.workload_mix),
+            mean_arrivals_per_batch=scenario.apps_per_site_per_epoch * len(site_names),
+            latency_slo_ms=scenario.latency_limit_ms,
+            request_rate_rps=scenario.request_rate_rps,
+            duration_hours=float(scenario.hours_per_epoch),
+            seed=scenario.seed,
+        )
+
+    # -- simulation -------------------------------------------------------------
+
+    def epoch_problem(self, epoch: int) -> PlacementProblem:
+        """Build the placement problem for one epoch (fresh fleet state)."""
+        scenario = self.scenario
+        start_hour = scenario.epoch_start_hour(epoch)
+        batch = self.generator.generate_batch(epoch, start_hour)
+        if len(batch) == 0:
+            raise ValueError(f"epoch {epoch} generated no applications")
+        self.fleet.reset_allocations()
+        for server in self.fleet.servers():
+            server.power_on()
+        return PlacementProblem.build(
+            applications=list(batch.applications),
+            servers=self.fleet.servers(),
+            latency=self.latency,
+            carbon=self.carbon,
+            hour=start_hour,
+            horizon_hours=float(scenario.hours_per_epoch),
+        )
+
+    def run(self, policies: list[PlacementPolicy] | None = None,
+            validate: bool = True) -> SimulationResult:
+        """Run the full scenario for every policy and collect epoch records."""
+        policies = policies if policies is not None else default_policies(self.scenario.solver)
+        result = SimulationResult(scenario_name=f"CDN-{self.scenario.continent}")
+        for epoch in range(self.scenario.n_epochs):
+            problem = self.epoch_problem(epoch)
+            feasible = problem.feasible_mask()
+            nearest = np.where(feasible, problem.latency_ms, np.inf).min(axis=1)
+            for policy in policies:
+                solution = policy.timed_place(problem)
+                if validate:
+                    validate_solution(solution, strict=True)
+                placed_latencies = []
+                hosting_intensities = []
+                for app_id, j in solution.placements.items():
+                    i = problem.app_index(app_id)
+                    placed_latencies.append(problem.latency_ms[i, j] - (
+                        nearest[i] if np.isfinite(nearest[i]) else 0.0))
+                    hosting_intensities.append(float(problem.intensity[j]))
+                record = EpochRecord(
+                    epoch=epoch,
+                    start_hour=self.scenario.epoch_start_hour(epoch),
+                    policy=policy.name,
+                    carbon_g=solution.total_carbon_g(),
+                    energy_j=solution.total_energy_j(),
+                    mean_one_way_latency_ms=solution.mean_latency_ms(),
+                    latency_increase_one_way_ms=float(np.mean(placed_latencies))
+                    if placed_latencies else 0.0,
+                    n_placed=solution.n_placed,
+                    n_unplaced=len(solution.unplaced),
+                    apps_per_site=solution.apps_per_site(),
+                    hosting_intensities=hosting_intensities,
+                    solve_time_s=solution.solve_time_s,
+                )
+                result.add(record)
+        return result
+
+
+def run_cdn_simulation(scenario: CDNScenario,
+                       policies: list[PlacementPolicy] | None = None,
+                       footprint: CDNFootprint | None = None,
+                       validate: bool = True) -> SimulationResult:
+    """Convenience wrapper: build a :class:`CDNSimulator` and run it."""
+    simulator = CDNSimulator(scenario=scenario, footprint=footprint)
+    return simulator.run(policies=policies, validate=validate)

@@ -1,0 +1,68 @@
+"""Discrete-event primitives: timestamped events and a priority queue."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A timestamped simulation event.
+
+    Events order by (time, priority, sequence); the payload and handler are not
+    part of the ordering.
+    """
+
+    time_s: float
+    priority: int = 0
+    sequence: int = field(default=0)
+    kind: str = field(default="event", compare=False)
+    payload: Any = field(default=None, compare=False)
+    handler: Callable[["Event"], None] | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError(f"event time must be non-negative, got {self.time_s}")
+
+
+class EventQueue:
+    """A stable priority queue of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        """Whether the queue has no pending events."""
+        return not self._heap
+
+    def push(self, event: Event) -> Event:
+        """Insert an event (its sequence number is assigned here)."""
+        event.sequence = next(self._counter)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, time_s: float, kind: str = "event", payload: Any = None,
+                 handler: Callable[[Event], None] | None = None, priority: int = 0) -> Event:
+        """Convenience: build and push an event."""
+        return self.push(Event(time_s=time_s, priority=priority, kind=kind,
+                               payload=payload, handler=handler))
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Event:
+        """Return (without removing) the earliest event."""
+        if not self._heap:
+            raise IndexError("peek on an empty EventQueue")
+        return self._heap[0]

@@ -1,0 +1,36 @@
+"""Mixed-integer linear programming substrate (the OR-Tools stand-in).
+
+The paper solves its placement optimisation (Equation 7) with Google OR-Tools.
+OR-Tools is not available offline, so this package provides an in-house MILP
+layer with the pieces the placement policies need:
+
+* :mod:`repro.solver.milp` — a small MILP model builder (variables, linear
+  constraints, linear objective) with validation helpers.
+* :mod:`repro.solver.lp_relaxation` — LP relaxation solving via
+  ``scipy.optimize.linprog`` (HiGHS backend).
+* :mod:`repro.solver.branch_and_bound` — best-first branch & bound over the
+  binary variables, warm-started by rounding.
+* :mod:`repro.solver.rounding` — LP-rounding and repair heuristics.
+* :mod:`repro.solver.result` — solution/status containers.
+
+The layer is generic (it knows nothing about carbon or placement); the
+placement-specific model construction lives in :mod:`repro.core`.
+"""
+
+from repro.solver.milp import MILPModel, Variable, LinearConstraint, VariableKind
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.lp_relaxation import solve_lp_relaxation
+from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver.rounding import round_and_repair
+
+__all__ = [
+    "MILPModel",
+    "Variable",
+    "LinearConstraint",
+    "VariableKind",
+    "SolveResult",
+    "SolveStatus",
+    "solve_lp_relaxation",
+    "BranchAndBoundSolver",
+    "round_and_repair",
+]

@@ -1,0 +1,56 @@
+"""LP relaxation solving via scipy's HiGHS backend."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.solver.milp import MILPModel
+from repro.solver.result import SolveResult, SolveStatus
+
+
+def solve_lp_relaxation(model: MILPModel,
+                        extra_bounds: dict[str, tuple[float, float]] | None = None) -> SolveResult:
+    """Solve the LP relaxation of a MILP model.
+
+    Binary variables are relaxed to their [lower, upper] box. ``extra_bounds``
+    overrides bounds per variable name, which is how the branch-and-bound
+    solver fixes variables along a branch.
+    """
+    dense = model.to_dense()
+    names: list[str] = dense["names"]  # type: ignore[assignment]
+    bounds = np.array(dense["bounds"], dtype=float)
+    if extra_bounds:
+        index = {n: i for i, n in enumerate(names)}
+        for name, (lo, hi) in extra_bounds.items():
+            if name not in index:
+                raise KeyError(f"extra bound for unknown variable {name!r}")
+            i = index[name]
+            bounds[i, 0] = max(bounds[i, 0], lo)
+            bounds[i, 1] = min(bounds[i, 1], hi)
+            if bounds[i, 0] > bounds[i, 1] + 1e-12:
+                return SolveResult(status=SolveStatus.INFEASIBLE)
+
+    if len(names) == 0:
+        return SolveResult(status=SolveStatus.OPTIMAL, objective=model.objective_constant,
+                           values={}, gap=0.0)
+
+    res = linprog(
+        c=dense["c"],
+        A_ub=dense["A_ub"],
+        b_ub=dense["b_ub"],
+        A_eq=dense["A_eq"],
+        b_eq=dense["b_eq"],
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status == 2:
+        return SolveResult(status=SolveStatus.INFEASIBLE)
+    if res.status == 3:
+        return SolveResult(status=SolveStatus.UNBOUNDED)
+    if not res.success:
+        return SolveResult(status=SolveStatus.ERROR)
+
+    values = {name: float(v) for name, v in zip(names, res.x)}
+    objective = model.objective_constant + float(res.fun)
+    return SolveResult(status=SolveStatus.OPTIMAL, objective=objective, values=values, gap=0.0)

@@ -1,0 +1,200 @@
+"""A small MILP model builder.
+
+:class:`MILPModel` holds named variables (continuous or binary), linear
+``<=`` / ``==`` constraints expressed as sparse coefficient dictionaries, and a
+linear minimisation objective. It can export itself to the dense matrix form
+``scipy.optimize.linprog`` expects, which is how the LP relaxation and the
+branch-and-bound solver consume it.
+
+The model is deliberately minimal: it supports exactly what the CarbonEdge
+placement formulation (Equations 1–7 and the multi-objective Equation 8)
+needs, with validation so malformed models fail loudly at build time rather
+than producing silently-wrong placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class VariableKind(Enum):
+    """Kind of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable with bounds."""
+
+    name: str
+    kind: VariableKind = VariableKind.CONTINUOUS
+    lower: float = 0.0
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper:
+            raise ValueError(f"variable {self.name}: lower bound {self.lower} > upper {self.upper}")
+        if self.kind is VariableKind.BINARY and not (0.0 <= self.lower and self.upper <= 1.0):
+            raise ValueError(f"binary variable {self.name} must have bounds within [0, 1]")
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """A linear constraint ``sum(coeff * var) (<=|==) rhs``."""
+
+    name: str
+    coefficients: dict[str, float]
+    rhs: float
+    equality: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.coefficients:
+            raise ValueError(f"constraint {self.name}: must reference at least one variable")
+
+
+@dataclass
+class MILPModel:
+    """A linear minimisation model over named variables."""
+
+    name: str = "model"
+    variables: dict[str, Variable] = field(default_factory=dict)
+    constraints: list[LinearConstraint] = field(default_factory=list)
+    objective: dict[str, float] = field(default_factory=dict)
+    objective_constant: float = 0.0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_variable(self, name: str, kind: VariableKind = VariableKind.CONTINUOUS,
+                     lower: float = 0.0, upper: float = 1.0) -> Variable:
+        """Add a variable; raises on duplicate names."""
+        if name in self.variables:
+            raise ValueError(f"duplicate variable {name!r}")
+        var = Variable(name=name, kind=kind, lower=lower, upper=upper)
+        self.variables[name] = var
+        return var
+
+    def add_binary(self, name: str, lower: float = 0.0, upper: float = 1.0) -> Variable:
+        """Add a binary variable (bounds may pin it to 0 or 1)."""
+        return self.add_variable(name, kind=VariableKind.BINARY, lower=lower, upper=upper)
+
+    def add_constraint(self, name: str, coefficients: dict[str, float], rhs: float,
+                       equality: bool = False) -> LinearConstraint:
+        """Add a ``<=`` (default) or ``==`` constraint over existing variables."""
+        unknown = [v for v in coefficients if v not in self.variables]
+        if unknown:
+            raise KeyError(f"constraint {name!r} references unknown variables {unknown}")
+        constraint = LinearConstraint(name=name, coefficients=dict(coefficients),
+                                      rhs=float(rhs), equality=equality)
+        self.constraints.append(constraint)
+        return constraint
+
+    def set_objective(self, coefficients: dict[str, float], constant: float = 0.0) -> None:
+        """Set the linear minimisation objective."""
+        unknown = [v for v in coefficients if v not in self.variables]
+        if unknown:
+            raise KeyError(f"objective references unknown variables {unknown}")
+        self.objective = dict(coefficients)
+        self.objective_constant = float(constant)
+
+    def add_objective_term(self, name: str, coefficient: float) -> None:
+        """Accumulate a coefficient onto one variable's objective term."""
+        if name not in self.variables:
+            raise KeyError(f"objective term references unknown variable {name!r}")
+        self.objective[name] = self.objective.get(name, 0.0) + float(coefficient)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_variables(self) -> int:
+        """Number of decision variables."""
+        return len(self.variables)
+
+    @property
+    def n_constraints(self) -> int:
+        """Number of constraints."""
+        return len(self.constraints)
+
+    def variable_names(self) -> list[str]:
+        """Variable names in insertion order (the dense column order)."""
+        return list(self.variables)
+
+    def binary_names(self) -> list[str]:
+        """Names of binary variables in insertion order."""
+        return [n for n, v in self.variables.items() if v.kind is VariableKind.BINARY]
+
+    # -- dense export -----------------------------------------------------------
+
+    def to_dense(self) -> dict[str, np.ndarray | list[str]]:
+        """Export to the arrays ``scipy.optimize.linprog`` expects.
+
+        Returns a dict with keys ``c`` (objective), ``A_ub``/``b_ub``,
+        ``A_eq``/``b_eq`` (either may be None), ``bounds`` (N×2), and
+        ``names`` (column order).
+        """
+        names = self.variable_names()
+        index = {n: i for i, n in enumerate(names)}
+        n = len(names)
+
+        c = np.zeros(n)
+        for var, coeff in self.objective.items():
+            c[index[var]] = coeff
+
+        bounds = np.zeros((n, 2))
+        for i, name in enumerate(names):
+            var = self.variables[name]
+            bounds[i] = (var.lower, var.upper)
+
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for con in self.constraints:
+            row = np.zeros(n)
+            for var, coeff in con.coefficients.items():
+                row[index[var]] = coeff
+            if con.equality:
+                eq_rows.append(row)
+                eq_rhs.append(con.rhs)
+            else:
+                ub_rows.append(row)
+                ub_rhs.append(con.rhs)
+
+        return {
+            "c": c,
+            "A_ub": np.vstack(ub_rows) if ub_rows else None,
+            "b_ub": np.asarray(ub_rhs) if ub_rhs else None,
+            "A_eq": np.vstack(eq_rows) if eq_rows else None,
+            "b_eq": np.asarray(eq_rhs) if eq_rhs else None,
+            "bounds": bounds,
+            "names": names,
+        }
+
+    # -- evaluation --------------------------------------------------------------
+
+    def objective_value(self, values: dict[str, float]) -> float:
+        """Objective value of an assignment (missing variables count as 0)."""
+        return self.objective_constant + sum(
+            coeff * values.get(var, 0.0) for var, coeff in self.objective.items())
+
+    def constraint_violations(self, values: dict[str, float], tol: float = 1e-6) -> list[str]:
+        """Names of constraints violated by an assignment (empty when feasible)."""
+        violated: list[str] = []
+        for con in self.constraints:
+            lhs = sum(coeff * values.get(var, 0.0) for var, coeff in con.coefficients.items())
+            if con.equality:
+                if abs(lhs - con.rhs) > tol:
+                    violated.append(con.name)
+            elif lhs > con.rhs + tol:
+                violated.append(con.name)
+        # bound violations reported with a pseudo-name
+        for name, var in self.variables.items():
+            v = values.get(name, 0.0)
+            if v < var.lower - tol or v > var.upper + tol:
+                violated.append(f"bound:{name}")
+        return violated
+
+    def is_feasible(self, values: dict[str, float], tol: float = 1e-6) -> bool:
+        """Whether an assignment satisfies every constraint and bound."""
+        return not self.constraint_violations(values, tol=tol)

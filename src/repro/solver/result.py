@@ -1,0 +1,67 @@
+"""Solver result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+
+class SolveStatus(Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # a feasible (possibly sub-optimal) incumbent
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a usable variable assignment is available."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class SolveResult:
+    """Result of solving a MILP (or its LP relaxation).
+
+    Parameters
+    ----------
+    status:
+        Solve outcome.
+    objective:
+        Objective value of the returned assignment (NaN when no solution).
+    values:
+        Mapping of variable name to value (empty when no solution).
+    gap:
+        Relative optimality gap of the incumbent (0 for proven optimal,
+        NaN when unknown).
+    nodes_explored:
+        Number of branch-and-bound nodes explored (0 for pure LP solves).
+    """
+
+    status: SolveStatus
+    objective: float = float("nan")
+    values: dict[str, float] = field(default_factory=dict)
+    gap: float = float("nan")
+    nodes_explored: int = 0
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether the result carries a usable assignment."""
+        return self.status.has_solution and bool(self.values)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Value of a variable by name (``default`` when absent)."""
+        return self.values.get(name, default)
+
+    def binary_value(self, name: str, threshold: float = 0.5) -> bool:
+        """Value of a binary variable as a bool."""
+        return self.value(name) > threshold
+
+    def is_integral(self, names: list[str], tol: float = 1e-6) -> bool:
+        """Whether all named variables take integral values within ``tol``."""
+        vals = np.array([self.value(n) for n in names], dtype=float)
+        return bool(np.all(np.abs(vals - np.round(vals)) <= tol))

@@ -1,0 +1,128 @@
+"""Rounding and repair heuristics for fractional LP solutions.
+
+When the LP relaxation of the placement MILP comes back fractional (or when
+the branch-and-bound node budget is exhausted), :func:`round_and_repair`
+produces a feasible integral assignment: binary variables are rounded by a
+priority order (largest fractional value first), each tentative rounding is
+checked against the model's constraints, and infeasible roundings fall back to
+0. The result is not guaranteed optimal, only feasible — callers report it
+with :class:`~repro.solver.result.SolveStatus.FEASIBLE`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solver.milp import MILPModel
+from repro.solver.result import SolveResult, SolveStatus
+
+
+def round_and_repair(model: MILPModel, fractional: dict[str, float],
+                     groups: list[list[str]] | None = None) -> SolveResult:
+    """Round a fractional solution to a feasible integral one.
+
+    Parameters
+    ----------
+    model:
+        The MILP model whose constraints must hold.
+    fractional:
+        Fractional variable values (e.g. from the LP relaxation).
+    groups:
+        Optional list of variable-name groups with an "exactly one of these"
+        semantic (the placement's per-application assignment rows). Within a
+        group the variable with the highest fractional value that keeps the
+        model feasible is set to 1 and the rest to 0. Variables outside any
+        group are rounded greedily.
+    """
+    values: dict[str, float] = {}
+    binary_names = set(model.binary_names())
+
+    # Continuous variables keep their fractional values.
+    for name, val in fractional.items():
+        if name not in binary_names:
+            values[name] = float(val)
+
+    grouped: set[str] = set()
+    groups = groups or []
+    for group in groups:
+        grouped.update(group)
+
+    # Ungrouped binaries: round to the nearest integer first, repair later.
+    for name in binary_names - grouped:
+        values[name] = float(round(fractional.get(name, 0.0)))
+
+    # Grouped binaries: pick the best member per group.
+    for group in groups:
+        ranked = sorted(group, key=lambda n: -fractional.get(n, 0.0))
+        for name in group:
+            values[name] = 0.0
+        chosen = None
+        for candidate in ranked:
+            values[candidate] = 1.0
+            _activate_supports(model, values, candidate)
+            if _group_feasible(model, values, candidate):
+                chosen = candidate
+                break
+            values[candidate] = 0.0
+        if chosen is None:
+            # No member keeps the model feasible: leave the group unassigned;
+            # the caller treats this as an infeasible rounding.
+            return SolveResult(status=SolveStatus.INFEASIBLE)
+
+    violations = model.constraint_violations(values)
+    if violations:
+        return SolveResult(status=SolveStatus.INFEASIBLE)
+    return SolveResult(status=SolveStatus.FEASIBLE,
+                       objective=model.objective_value(values), values=values)
+
+
+def _activate_supports(model: MILPModel, values: dict[str, float], candidate: str) -> None:
+    """Turn on any binary whose constraint links it as a prerequisite of ``candidate``.
+
+    The placement model encodes ``x_ij <= y_j`` style coupling constraints; when
+    rounding sets an ``x`` to 1 the corresponding ``y`` must also be 1 for the
+    assignment to stand a chance of being feasible. We detect such constraints
+    structurally: a <=0 row with +1 on the candidate and a single negative
+    coefficient on another binary.
+    """
+    binary_names = set(model.binary_names())
+    for con in model.constraints:
+        if con.equality or con.rhs != 0.0:
+            continue
+        coeffs = con.coefficients
+        if coeffs.get(candidate, 0.0) <= 0.0:
+            continue
+        negatives = [(n, c) for n, c in coeffs.items() if c < 0 and n in binary_names]
+        if len(negatives) == 1:
+            support, _ = negatives[0]
+            lower = model.variables[support].lower
+            values[support] = max(1.0, lower) if values.get(support, 0.0) < 1.0 else values[support]
+
+
+def _group_feasible(model: MILPModel, values: dict[str, float], candidate: str) -> bool:
+    """Check only the constraints that involve ``candidate`` (cheap local check)."""
+    for con in model.constraints:
+        if candidate not in con.coefficients:
+            continue
+        lhs = sum(c * values.get(v, 0.0) for v, c in con.coefficients.items())
+        if con.equality:
+            continue  # equality rows (assignment rows) are finalised at the end
+        if lhs > con.rhs + 1e-6:
+            return False
+    return True
+
+
+def fractional_binaries(result_values: dict[str, float], binary_names: list[str],
+                        tol: float = 1e-6) -> list[str]:
+    """Names of binary variables with fractional values, most fractional first."""
+    out = [(abs(result_values.get(n, 0.0) - round(result_values.get(n, 0.0))), n)
+           for n in binary_names]
+    return [n for frac, n in sorted(out, reverse=True) if frac > tol]
+
+
+def integrality_gap(values: dict[str, float], binary_names: list[str]) -> float:
+    """Largest distance of any binary variable from an integer."""
+    if not binary_names:
+        return 0.0
+    arr = np.array([values.get(n, 0.0) for n in binary_names])
+    return float(np.abs(arr - np.round(arr)).max())

@@ -1,0 +1,32 @@
+"""Telemetry substrate (the Prometheus / RAPL / DCGM stand-in).
+
+The paper's telemetry service collects static attributes and real-time metrics
+(power via RAPL and the DCGM exporter, carbon via the carbon-intensity service,
+end-to-end latency) — Section 5.1. This package provides the same capabilities
+in-process:
+
+* :mod:`repro.telemetry.metrics` — a small metric registry (counters, gauges,
+  histograms) with labels.
+* :mod:`repro.telemetry.power_monitor` — per-server energy accounting from the
+  power models.
+* :mod:`repro.telemetry.carbon_monitor` — emission accounting combining energy
+  with zone carbon intensity (base power + application energy).
+* :mod:`repro.telemetry.latency_monitor` — end-to-end response-time recording.
+"""
+
+from repro.telemetry.metrics import MetricRegistry, Counter, Gauge, Histogram
+from repro.telemetry.power_monitor import PowerMonitor, EnergySample
+from repro.telemetry.carbon_monitor import CarbonMonitor, EmissionRecord
+from repro.telemetry.latency_monitor import LatencyMonitor
+
+__all__ = [
+    "MetricRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PowerMonitor",
+    "EnergySample",
+    "CarbonMonitor",
+    "EmissionRecord",
+    "LatencyMonitor",
+]

@@ -1,0 +1,70 @@
+"""End-to-end response-time recording.
+
+The paper records end-to-end latency between users and their deployed
+applications in addition to inter-site latency (Section 5.1). The monitor
+keeps a histogram per (application, site) pair so the testbed experiments can
+report per-site response-time distributions (Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.metrics import MetricRegistry
+
+
+@dataclass
+class LatencyMonitor:
+    """Records per-request end-to-end response times."""
+
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
+
+    def record_response(self, app_id: str, site: str, response_time_ms: float) -> None:
+        """Record one request's end-to-end response time."""
+        if response_time_ms < 0:
+            raise ValueError("response_time_ms must be non-negative")
+        self.registry.histogram("response_time_ms",
+                                {"app": app_id, "site": site}).observe(response_time_ms)
+
+    def mean_response_ms(self, app_id: str | None = None, site: str | None = None) -> float:
+        """Mean response time over all matching (app, site) histograms."""
+        values: list[float] = []
+        for (name, labels), hist in self.registry.histograms.items():
+            if name != "response_time_ms":
+                continue
+            label_map = dict(labels)
+            if app_id is not None and label_map.get("app") != app_id:
+                continue
+            if site is not None and label_map.get("site") != site:
+                continue
+            values.extend(hist.observations)
+        if not values:
+            return 0.0
+        return float(sum(values) / len(values))
+
+    def percentile_response_ms(self, q: float, app_id: str | None = None,
+                               site: str | None = None) -> float:
+        """Percentile of response times over all matching histograms."""
+        import numpy as np
+        values: list[float] = []
+        for (name, labels), hist in self.registry.histograms.items():
+            if name != "response_time_ms":
+                continue
+            label_map = dict(labels)
+            if app_id is not None and label_map.get("app") != app_id:
+                continue
+            if site is not None and label_map.get("site") != site:
+                continue
+            values.extend(hist.observations)
+        return float(np.percentile(values, q)) if values else 0.0
+
+    def request_count(self, app_id: str | None = None) -> int:
+        """Number of recorded requests (optionally for one application)."""
+        count = 0
+        for (name, labels), hist in self.registry.histograms.items():
+            if name != "response_time_ms":
+                continue
+            if app_id is not None and dict(labels).get("app") != app_id:
+                continue
+            count += hist.count
+        return count

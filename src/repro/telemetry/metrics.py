@@ -1,0 +1,132 @@
+"""A small labelled-metric registry (Prometheus stand-in).
+
+Supports the three metric kinds the monitors need: counters (monotonically
+increasing totals), gauges (set-to-current-value), and histograms (response
+time distributions with percentile queries). Metrics are identified by a name
+plus a frozen label mapping, mirroring the Prometheus data model closely
+enough that the monitors read naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _freeze(labels: dict[str, str] | None) -> Labels:
+    return tuple(sorted((labels or {}).items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter; negative increments are rejected."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot decrease by {amount}")
+        self.value += float(amount)
+
+
+@dataclass
+class Gauge:
+    """A gauge holding the latest observed value."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        """Add ``delta`` (may be negative) to the gauge."""
+        self.value += float(delta)
+
+
+@dataclass
+class Histogram:
+    """A histogram of observations with percentile queries."""
+
+    name: str
+    observations: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.observations.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.observations)
+
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        return float(np.mean(self.observations)) if self.observations else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (0 when empty)."""
+        return float(np.percentile(self.observations, q)) if self.observations else 0.0
+
+    def sum(self) -> float:
+        """Sum of all observations."""
+        return float(np.sum(self.observations)) if self.observations else 0.0
+
+
+@dataclass
+class MetricRegistry:
+    """Registry of named, labelled metrics."""
+
+    counters: dict[tuple[str, Labels], Counter] = field(default_factory=dict)
+    gauges: dict[tuple[str, Labels], Gauge] = field(default_factory=dict)
+    histograms: dict[tuple[str, Labels], Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str, labels: dict[str, str] | None = None) -> Counter:
+        """Get or create a counter."""
+        key = (name, _freeze(labels))
+        if key not in self.counters:
+            self.counters[key] = Counter(name=name)
+        return self.counters[key]
+
+    def gauge(self, name: str, labels: dict[str, str] | None = None) -> Gauge:
+        """Get or create a gauge."""
+        key = (name, _freeze(labels))
+        if key not in self.gauges:
+            self.gauges[key] = Gauge(name=name)
+        return self.gauges[key]
+
+    def histogram(self, name: str, labels: dict[str, str] | None = None) -> Histogram:
+        """Get or create a histogram."""
+        key = (name, _freeze(labels))
+        if key not in self.histograms:
+            self.histograms[key] = Histogram(name=name)
+        return self.histograms[key]
+
+    def collect(self) -> dict[str, float]:
+        """Flat snapshot of scalar metric values keyed by ``name{label=value,...}``."""
+        out: dict[str, float] = {}
+        for (name, labels), counter in self.counters.items():
+            out[_render(name, labels)] = counter.value
+        for (name, labels), gauge in self.gauges.items():
+            out[_render(name, labels)] = gauge.value
+        for (name, labels), hist in self.histograms.items():
+            out[_render(name + "_count", labels)] = float(hist.count)
+            out[_render(name + "_sum", labels)] = hist.sum()
+        return out
+
+    def counters_matching(self, name: str) -> dict[Labels, Counter]:
+        """All counters with the given metric name, keyed by their labels."""
+        return {labels: c for (n, labels), c in self.counters.items() if n == name}
+
+
+def _render(name: str, labels: Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"

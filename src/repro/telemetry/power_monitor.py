@@ -1,0 +1,79 @@
+"""Per-server power and energy accounting (the RAPL / DCGM-exporter stand-in).
+
+:class:`PowerMonitor` integrates each server's power model over time: callers
+report utilisation intervals, and the monitor accumulates base and dynamic
+energy separately (the split the carbon monitor needs for Equation 6 style
+accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.server import EdgeServer
+from repro.telemetry.metrics import MetricRegistry
+
+
+@dataclass(frozen=True)
+class EnergySample:
+    """One integrated interval of a server's energy consumption."""
+
+    server_id: str
+    start_s: float
+    duration_s: float
+    utilization: float
+    base_energy_j: float
+    dynamic_energy_j: float
+
+    @property
+    def total_energy_j(self) -> float:
+        """Base plus dynamic energy of the interval."""
+        return self.base_energy_j + self.dynamic_energy_j
+
+
+@dataclass
+class PowerMonitor:
+    """Integrates server power over reported utilisation intervals."""
+
+    registry: MetricRegistry = field(default_factory=MetricRegistry)
+    samples: list[EnergySample] = field(default_factory=list)
+
+    def record_interval(self, server: EdgeServer, start_s: float, duration_s: float,
+                        utilization: float) -> EnergySample:
+        """Record one interval of operation for a powered-on server."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+        model = server.power_model()
+        base_energy = model.idle_power_w * duration_s if server.is_on else 0.0
+        dynamic_energy = model.dynamic_energy_j(utilization, duration_s) if server.is_on else 0.0
+        sample = EnergySample(
+            server_id=server.server_id,
+            start_s=start_s,
+            duration_s=duration_s,
+            utilization=utilization,
+            base_energy_j=base_energy,
+            dynamic_energy_j=dynamic_energy,
+        )
+        self.samples.append(sample)
+        labels = {"server": server.server_id, "site": server.site}
+        self.registry.counter("server_energy_joules_total", labels).inc(sample.total_energy_j)
+        self.registry.gauge("server_power_watts", labels).set(
+            model.power_w(utilization) if server.is_on else 0.0)
+        return sample
+
+    def total_energy_j(self, server_id: str | None = None) -> float:
+        """Total integrated energy (optionally for one server), joules."""
+        return sum(s.total_energy_j for s in self.samples
+                   if server_id is None or s.server_id == server_id)
+
+    def dynamic_energy_j(self, server_id: str | None = None) -> float:
+        """Total dynamic (above-idle) energy, joules."""
+        return sum(s.dynamic_energy_j for s in self.samples
+                   if server_id is None or s.server_id == server_id)
+
+    def base_energy_j(self, server_id: str | None = None) -> float:
+        """Total base (idle) energy, joules."""
+        return sum(s.base_energy_j for s in self.samples
+                   if server_id is None or s.server_id == server_id)

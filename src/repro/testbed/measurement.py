@@ -1,0 +1,55 @@
+"""Emulated energy measurement (the RAPL stand-in used by the testbed).
+
+:class:`EmulatedEnergyMeter` integrates a server's energy over an experiment by
+combining the per-request dynamic energy of the workloads it serves with the
+server's base power, exactly the split RAPL + the DCGM exporter give the
+paper's power monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.server import EdgeServer
+
+
+@dataclass
+class EmulatedEnergyMeter:
+    """Accumulates base and per-request dynamic energy for one server."""
+
+    server: EdgeServer
+    base_energy_j: float = 0.0
+    dynamic_energy_j: float = 0.0
+    request_count: int = 0
+    _per_app_dynamic_j: dict[str, float] = field(default_factory=dict)
+
+    def record_idle_interval(self, duration_s: float) -> None:
+        """Account the server's base power over an interval it is powered on."""
+        if duration_s < 0:
+            raise ValueError("duration_s must be non-negative")
+        if self.server.is_on:
+            self.base_energy_j += self.server.base_power_w * duration_s
+
+    def record_request(self, app_id: str, energy_j: float) -> None:
+        """Account one served request's dynamic energy."""
+        if energy_j < 0:
+            raise ValueError("energy_j must be non-negative")
+        self.dynamic_energy_j += energy_j
+        self.request_count += 1
+        self._per_app_dynamic_j[app_id] = self._per_app_dynamic_j.get(app_id, 0.0) + energy_j
+
+    @property
+    def total_energy_j(self) -> float:
+        """Base plus dynamic energy, joules."""
+        return self.base_energy_j + self.dynamic_energy_j
+
+    def app_energy_j(self, app_id: str) -> float:
+        """Dynamic energy attributed to one application, joules."""
+        return self._per_app_dynamic_j.get(app_id, 0.0)
+
+    def reset(self) -> None:
+        """Clear all accumulated measurements."""
+        self.base_energy_j = 0.0
+        self.dynamic_energy_j = 0.0
+        self.request_count = 0
+        self._per_app_dynamic_j.clear()

@@ -1,0 +1,106 @@
+"""Simulation-calendar helpers.
+
+The trace year is a non-leap year of 8760 hours; hour ``0`` is January 1st,
+00:00 local time. All traces in :mod:`repro.carbon` and the CDN simulator use
+this hour-of-year indexing, so the helpers here convert between hour indices,
+days, and months without depending on :mod:`datetime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.units import HOURS_PER_YEAR
+
+#: Days per month for the non-leap trace year.
+DAYS_PER_MONTH: tuple[int, ...] = (31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31)
+
+#: English month abbreviations, indexable by month number - 1.
+MONTH_NAMES: tuple[str, ...] = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+
+#: Hour-of-year at which each month starts (length 13; last entry is 8760).
+MONTH_START_HOURS: tuple[int, ...] = tuple(
+    int(x) for x in np.concatenate([[0], np.cumsum(np.asarray(DAYS_PER_MONTH) * 24)])
+)
+
+
+def hour_of_day(hour_of_year: int | np.ndarray) -> int | np.ndarray:
+    """Hour within the day (0–23) for an hour-of-year index."""
+    return np.asarray(hour_of_year) % 24 if isinstance(hour_of_year, np.ndarray) else int(hour_of_year) % 24
+
+
+def day_of_year(hour_of_year: int | np.ndarray) -> int | np.ndarray:
+    """Zero-based day-of-year for an hour-of-year index."""
+    return np.asarray(hour_of_year) // 24 if isinstance(hour_of_year, np.ndarray) else int(hour_of_year) // 24
+
+
+def month_of_hour(hour_of_year: int) -> int:
+    """One-based month number (1–12) containing the given hour-of-year."""
+    h = int(hour_of_year) % HOURS_PER_YEAR
+    month = int(np.searchsorted(MONTH_START_HOURS, h, side="right"))
+    return month
+
+
+def hours_in_month(month: int) -> int:
+    """Number of hours in the one-based month ``month``."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    return DAYS_PER_MONTH[month - 1] * 24
+
+
+def month_slice(month: int) -> slice:
+    """Slice over hour-of-year indices covered by the one-based month ``month``."""
+    if not 1 <= month <= 12:
+        raise ValueError(f"month must be in 1..12, got {month}")
+    return slice(MONTH_START_HOURS[month - 1], MONTH_START_HOURS[month])
+
+
+@dataclass
+class SimClock:
+    """A simple simulation clock tracking seconds since the start of the trace year.
+
+    The discrete-event simulator advances this clock; traces are indexed by
+    ``hour`` which is derived from the current time.
+    """
+
+    now_seconds: float = 0.0
+    start_hour_of_year: int = 0
+    _history: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def hour_of_year(self) -> int:
+        """Hour-of-year index corresponding to the current simulation time."""
+        return (self.start_hour_of_year + int(self.now_seconds // 3600)) % HOURS_PER_YEAR
+
+    @property
+    def hour_of_day(self) -> int:
+        """Hour within the current simulated day (0–23)."""
+        return hour_of_day(self.hour_of_year)
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative) and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time ({seconds})")
+        self.now_seconds += float(seconds)
+        self._history.append(self.now_seconds)
+        return self.now_seconds
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute timestamp (monotonically non-decreasing)."""
+        if timestamp < self.now_seconds:
+            raise ValueError(
+                f"cannot move clock backwards: now={self.now_seconds}, target={timestamp}"
+            )
+        self.now_seconds = float(timestamp)
+        self._history.append(self.now_seconds)
+        return self.now_seconds
+
+    def reset(self) -> None:
+        """Reset the clock to time zero and clear its history."""
+        self.now_seconds = 0.0
+        self._history.clear()

@@ -1,0 +1,81 @@
+"""Unit conversions used throughout the CarbonEdge reproduction.
+
+Conventions
+-----------
+* Energy is tracked internally in **joules** (J); carbon intensity is expressed in
+  **g CO2eq / kWh** to match Electricity Maps and the paper, so emissions are
+  ``joules_to_kwh(E) * intensity`` grams.
+* Power is in **watts** (W).
+* Latency is in **milliseconds** (ms), one-way unless stated otherwise.
+* Distance is in **kilometres** (km).
+* Simulation time is in **hours** for traces and **seconds** inside the
+  discrete-event simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Joules in one kilowatt-hour.
+JOULES_PER_KWH: float = 3.6e6
+
+#: Number of hours in the (non-leap) trace year used by the synthetic datasets.
+HOURS_PER_YEAR: int = 8760
+
+
+def joules_to_kwh(joules: float | np.ndarray) -> float | np.ndarray:
+    """Convert energy in joules to kilowatt-hours."""
+    return np.asarray(joules, dtype=float) / JOULES_PER_KWH if isinstance(joules, np.ndarray) else float(joules) / JOULES_PER_KWH
+
+
+def kwh_to_joules(kwh: float | np.ndarray) -> float | np.ndarray:
+    """Convert energy in kilowatt-hours to joules."""
+    return np.asarray(kwh, dtype=float) * JOULES_PER_KWH if isinstance(kwh, np.ndarray) else float(kwh) * JOULES_PER_KWH
+
+
+def watts_to_kw(watts: float) -> float:
+    """Convert power in watts to kilowatts."""
+    return float(watts) / 1e3
+
+
+def grams_to_tonnes(grams: float) -> float:
+    """Convert mass in grams to metric tonnes."""
+    return float(grams) / 1e6
+
+
+def tonnes_to_grams(tonnes: float) -> float:
+    """Convert mass in metric tonnes to grams."""
+    return float(tonnes) * 1e6
+
+
+def ms_to_seconds(ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return float(ms) / 1e3
+
+
+def seconds_to_ms(seconds: float) -> float:
+    """Convert seconds to milliseconds."""
+    return float(seconds) * 1e3
+
+
+def km_to_m(km: float) -> float:
+    """Convert kilometres to metres."""
+    return float(km) * 1e3
+
+
+def m_to_km(m: float) -> float:
+    """Convert metres to kilometres."""
+    return float(m) / 1e3
+
+
+def energy_to_emissions(joules: float, intensity_g_per_kwh: float) -> float:
+    """Operational emissions (grams CO2eq) of consuming ``joules`` at a given intensity.
+
+    Parameters
+    ----------
+    joules:
+        Energy consumed, in joules.
+    intensity_g_per_kwh:
+        Grid carbon intensity in g CO2eq per kWh.
+    """
+    return joules_to_kwh(joules) * float(intensity_g_per_kwh)

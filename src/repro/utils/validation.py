@@ -1,0 +1,51 @@
+"""Argument-validation helpers shared across the library.
+
+These raise :class:`ValueError` with a consistent message format so tests can
+assert on failure modes uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it as a float."""
+    v = float(value)
+    if not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return v
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it as a float."""
+    v = float(value)
+    if v < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate that ``value`` lies in the inclusive range [low, high]."""
+    v = float(value)
+    if not (low <= v <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return v
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    return require_in_range(value, 0.0, 1.0, name)
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> Any:
+    """Validate that ``value`` is an instance of ``expected`` and return it."""
+    if not isinstance(value, expected):
+        raise TypeError(f"{name} must be {expected!r}, got {type(value)!r}")
+    return value

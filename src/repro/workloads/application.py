@@ -1,0 +1,115 @@
+"""Application specifications consumed by the placement policies.
+
+An :class:`Application` is one deployable edge workload instance: it has a
+source city (where its users are), a latency SLO, a request rate, and a
+workload type whose per-device profiles determine both its resource demand
+R^k_ij and its energy consumption E_ij on each candidate server (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer
+from repro.workloads.profiles import WorkloadProfile, get_profile
+
+
+@dataclass(frozen=True)
+class Application:
+    """A single edge application to be placed.
+
+    Parameters
+    ----------
+    app_id:
+        Unique identifier.
+    workload:
+        Workload type (e.g. ``"ResNet50"`` or ``"Sci"``); must have a profile
+        for every candidate device.
+    source_site:
+        City/site the application's users are attached to.
+    latency_slo_ms:
+        Maximum tolerated **round-trip** network latency between the source
+        site and the hosting server (the paper's default is 20 ms ≈ 500 km).
+    request_rate_rps:
+        Sustained request rate the deployment must serve.
+    duration_hours:
+        Placement horizon used when converting rates to energy (E_ij).
+    """
+
+    app_id: str
+    workload: str
+    source_site: str
+    latency_slo_ms: float = 20.0
+    request_rate_rps: float = 10.0
+    duration_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.latency_slo_ms <= 0:
+            raise ValueError(f"{self.app_id}: latency_slo_ms must be positive")
+        if self.request_rate_rps <= 0:
+            raise ValueError(f"{self.app_id}: request_rate_rps must be positive")
+        if self.duration_hours <= 0:
+            raise ValueError(f"{self.app_id}: duration_hours must be positive")
+
+    @property
+    def one_way_latency_slo_ms(self) -> float:
+        """One-way latency budget (half the round-trip SLO)."""
+        return self.latency_slo_ms / 2.0
+
+    def profile_on(self, server: EdgeServer) -> WorkloadProfile:
+        """The workload profile on the server's accelerator, falling back to its CPU.
+
+        GPU workloads resolve against the server's accelerator; CPU workloads
+        (e.g. the sensor-processing ``"Sci"`` application) have no GPU profile
+        and resolve against the host CPU instead.
+        """
+        devices = []
+        if server.accelerator is not None:
+            devices.append(server.accelerator.name)
+        devices.append(server.cpu.name)
+        for device in devices:
+            try:
+                return get_profile(self.workload, device)
+            except KeyError:
+                continue
+        raise KeyError(
+            f"workload {self.workload!r} has no profile for any device of server "
+            f"{server.server_id!r} (tried {devices})")
+
+    def resource_demand_on(self, server: EdgeServer) -> ResourceVector:
+        """R^k_ij: resource demand of this application on ``server``.
+
+        The GPU memory footprint is device-specific; the number of deployment
+        replicas needed to sustain the request rate scales the demand when the
+        rate exceeds what a single replica can serve.
+        """
+        profile = self.profile_on(server)
+        replicas = max(1, int(-(-self.request_rate_rps // profile.max_request_rate())))
+        return profile.resource_demand * float(replicas)
+
+    def energy_on(self, server: EdgeServer) -> float:
+        """E_ij: dynamic energy (joules) of running on ``server`` for the horizon."""
+        profile = self.profile_on(server)
+        return profile.energy_per_hour_j(self.request_rate_rps) * self.duration_hours
+
+    def processing_latency_on(self, server: EdgeServer) -> float:
+        """Per-request processing (inference) latency on ``server``, milliseconds."""
+        return self.profile_on(server).latency_ms
+
+    def supports_server(self, server: EdgeServer) -> bool:
+        """Whether a profile exists for this workload on the server's device."""
+        try:
+            self.profile_on(server)
+        except KeyError:
+            return False
+        return True
+
+
+def make_application(app_id: str, workload: str, source_site: str,
+                     latency_slo_ms: float = 20.0, request_rate_rps: float = 10.0,
+                     duration_hours: float = 1.0) -> Application:
+    """Convenience constructor mirroring :class:`Application`'s signature."""
+    return Application(app_id=app_id, workload=workload, source_site=source_site,
+                       latency_slo_ms=latency_slo_ms, request_rate_rps=request_rate_rps,
+                       duration_hours=duration_hours)

@@ -1,0 +1,69 @@
+"""Demand and capacity distributions (Section 6.3.4).
+
+The paper uses city population as a proxy for both workload demand ("locations
+with high populations typically have high demand") and provider capacity
+("edge providers tend to increase their capacities near them"). These helpers
+turn the city catalogue's populations into normalised weights used by the
+application generator (demand scenario) and the CDN fleet builder (capacity
+scenario), plus the homogeneous baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.cities import CityCatalog, default_city_catalog
+
+
+def population_weights(site_names: list[str],
+                       catalog: CityCatalog | None = None) -> dict[str, float]:
+    """Normalised population share per site (sums to 1)."""
+    if not site_names:
+        raise ValueError("site_names must not be empty")
+    catalog = catalog or default_city_catalog()
+    pops = np.array([catalog.get(name).population_k for name in site_names], dtype=float)
+    total = pops.sum()
+    if total <= 0:
+        raise ValueError("total population must be positive")
+    return {name: float(p / total) for name, p in zip(site_names, pops)}
+
+
+def uniform_weights(site_names: list[str]) -> dict[str, float]:
+    """Equal weight per site (the paper's homogeneous scenario)."""
+    if not site_names:
+        raise ValueError("site_names must not be empty")
+    w = 1.0 / len(site_names)
+    return {name: w for name in site_names}
+
+
+def demand_per_site(site_names: list[str], total_demand: float,
+                    weights: dict[str, float] | None = None,
+                    catalog: CityCatalog | None = None) -> dict[str, float]:
+    """Split a total demand (e.g. applications per batch) across sites by weight."""
+    if total_demand < 0:
+        raise ValueError("total_demand must be non-negative")
+    weights = weights or population_weights(site_names, catalog)
+    missing = [s for s in site_names if s not in weights]
+    if missing:
+        raise KeyError(f"weights missing for sites: {missing}")
+    total_weight = sum(weights[s] for s in site_names)
+    return {s: total_demand * weights[s] / total_weight for s in site_names}
+
+
+def capacity_weights_from_population(site_names: list[str],
+                                     catalog: CityCatalog | None = None,
+                                     floor: float = 0.25) -> dict[str, float]:
+    """Relative capacity multiplier per site, proportional to population.
+
+    The multipliers have mean 1 (so total fleet capacity is preserved) and are
+    floored at ``floor`` so small cities keep at least a minimal deployment.
+    """
+    catalog = catalog or default_city_catalog()
+    pops = np.array([catalog.get(name).population_k for name in site_names], dtype=float)
+    mean_pop = pops.mean()
+    if mean_pop <= 0:
+        raise ValueError("mean population must be positive")
+    raw = np.maximum(pops / mean_pop, floor)
+    # Re-normalise to mean 1 after flooring.
+    raw = raw / raw.mean()
+    return {name: float(v) for name, v in zip(site_names, raw)}

@@ -1,0 +1,124 @@
+"""Application arrival generation for the trace-driven simulations.
+
+In the CDN scenario "edge applications arrive at edge data centers over time"
+(Section 6.3); CarbonEdge batches newly arriving applications and places each
+batch incrementally (Algorithm 1). :class:`ApplicationGenerator` produces those
+batches: the number of arrivals per batch follows a Poisson distribution, the
+source site of each application is drawn from a (possibly population-weighted)
+site distribution, and the workload type from a configurable mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.rng import substream
+from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class ArrivalBatch:
+    """A batch of applications arriving in one placement interval."""
+
+    interval_index: int
+    hour_of_year: int
+    applications: tuple[Application, ...]
+
+    def __len__(self) -> int:
+        return len(self.applications)
+
+
+@dataclass
+class ApplicationGenerator:
+    """Generates batched application arrivals for a set of source sites.
+
+    Parameters
+    ----------
+    sites:
+        Candidate source sites (cities).
+    site_weights:
+        Optional arrival weights per site (e.g. population shares); uniform
+        when omitted. Must align with ``sites``.
+    workload_mix:
+        Mapping of workload name to arrival probability (normalised).
+    mean_arrivals_per_batch:
+        Poisson mean of the number of applications arriving per batch.
+    latency_slo_ms:
+        Round-trip latency SLO given to every generated application.
+    request_rate_rps:
+        Request rate per application.
+    duration_hours:
+        Placement horizon passed to the applications.
+    seed:
+        Root seed of the deterministic generation stream.
+    """
+
+    sites: Sequence[str]
+    site_weights: Sequence[float] | None = None
+    workload_mix: dict[str, float] = field(default_factory=lambda: {"ResNet50": 1.0})
+    mean_arrivals_per_batch: float = 10.0
+    latency_slo_ms: float = 20.0
+    request_rate_rps: float = 10.0
+    duration_hours: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self.sites = list(self.sites)
+        if not self.sites:
+            raise ValueError("ApplicationGenerator requires at least one site")
+        if self.site_weights is not None:
+            weights = np.asarray(list(self.site_weights), dtype=float)
+            if len(weights) != len(self.sites):
+                raise ValueError("site_weights must align with sites")
+            if np.any(weights < 0) or weights.sum() <= 0:
+                raise ValueError("site_weights must be non-negative with a positive sum")
+            self._site_probs = weights / weights.sum()
+        else:
+            self._site_probs = np.full(len(self.sites), 1.0 / len(self.sites))
+        if not self.workload_mix:
+            raise ValueError("workload_mix must not be empty")
+        mix_total = sum(self.workload_mix.values())
+        if mix_total <= 0:
+            raise ValueError("workload_mix probabilities must sum to a positive value")
+        self._workloads = list(self.workload_mix)
+        self._workload_probs = np.array(
+            [self.workload_mix[w] / mix_total for w in self._workloads])
+        if self.mean_arrivals_per_batch <= 0:
+            raise ValueError("mean_arrivals_per_batch must be positive")
+
+    def generate_batch(self, interval_index: int, hour_of_year: int,
+                       n_arrivals: int | None = None) -> ArrivalBatch:
+        """Generate one arrival batch for the given placement interval."""
+        rng = substream(self.seed, "arrivals", interval_index)
+        count = int(n_arrivals) if n_arrivals is not None else int(
+            rng.poisson(self.mean_arrivals_per_batch))
+        apps: list[Application] = []
+        if count > 0:
+            site_idx = rng.choice(len(self.sites), size=count, p=self._site_probs)
+            workload_idx = rng.choice(len(self._workloads), size=count, p=self._workload_probs)
+            for k in range(count):
+                apps.append(Application(
+                    app_id=f"app-{interval_index:05d}-{k:04d}",
+                    workload=self._workloads[int(workload_idx[k])],
+                    source_site=str(self.sites[int(site_idx[k])]),
+                    latency_slo_ms=self.latency_slo_ms,
+                    request_rate_rps=self.request_rate_rps,
+                    duration_hours=self.duration_hours,
+                ))
+        return ArrivalBatch(interval_index=interval_index, hour_of_year=hour_of_year,
+                            applications=tuple(apps))
+
+    def generate_schedule(self, n_batches: int, start_hour: int = 0,
+                          hours_per_batch: int = 1) -> list[ArrivalBatch]:
+        """Generate a full schedule of ``n_batches`` consecutive arrival batches."""
+        if n_batches <= 0:
+            raise ValueError("n_batches must be positive")
+        if hours_per_batch <= 0:
+            raise ValueError("hours_per_batch must be positive")
+        return [
+            self.generate_batch(i, (start_hour + i * hours_per_batch) % 8760)
+            for i in range(n_batches)
+        ]

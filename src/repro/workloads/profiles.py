@@ -1,0 +1,151 @@
+"""Per-device workload profiles (the Figure 7 stand-in).
+
+The paper profiles three ML models (EfficientNetB0, ResNet50, YOLOv4) on three
+accelerators (Jetson Orin Nano, NVIDIA A2, GTX 1080) and reports per-inference
+energy, GPU memory, and inference time (Figure 7), plus a CPU-based
+sensor-processing application on the Xeon host. The synthetic profile table
+below reproduces the orderings and ratios the paper highlights:
+
+* per-inference energy spans ~45× across models on the same device and ~2×
+  across devices for the same model (Section 6.1.1);
+* the Orin Nano is the most energy-efficient, the GTX 1080 the fastest
+  (Section 6.3.5) — its low inference time is what lets CarbonEdge shift more
+  load despite its high power draw;
+* GPU memory grows with model size and is a few hundred MB (Figure 7b);
+* inference time is a few to a few tens of milliseconds (Figure 7c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.resources import ResourceVector
+
+#: ML model names used throughout the evaluation.
+MODEL_NAMES: tuple[str, ...] = ("EfficientNetB0", "ResNet50", "YOLOv4")
+
+#: Accelerator names with profiles (catalogue names from repro.cluster.hardware).
+DEVICE_NAMES: tuple[str, ...] = ("Orin Nano", "NVIDIA A2", "GTX 1080")
+
+#: The CPU-based sensor-processing application (runs on the Xeon host).
+CPU_APP_NAME: str = "Sci"
+
+#: Device the CPU application is profiled on.
+CPU_DEVICE_NAME: str = "Xeon E5-2660v3"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Profile of one workload on one device.
+
+    Parameters
+    ----------
+    workload:
+        Model / application name.
+    device:
+        Device catalogue name.
+    energy_per_request_j:
+        Dynamic energy per inference / request, joules.
+    latency_ms:
+        Processing (inference) time per request, milliseconds.
+    gpu_memory_mb:
+        GPU memory footprint (0 for CPU workloads).
+    cpu_cores:
+        Host CPU cores pinned by the deployment.
+    memory_mb:
+        Host memory footprint.
+    """
+
+    workload: str
+    device: str
+    energy_per_request_j: float
+    latency_ms: float
+    gpu_memory_mb: float
+    cpu_cores: float = 1.0
+    memory_mb: float = 2048.0
+
+    def __post_init__(self) -> None:
+        if self.energy_per_request_j <= 0:
+            raise ValueError(f"{self.workload}@{self.device}: energy must be positive")
+        if self.latency_ms <= 0:
+            raise ValueError(f"{self.workload}@{self.device}: latency must be positive")
+        if self.gpu_memory_mb < 0 or self.cpu_cores < 0 or self.memory_mb < 0:
+            raise ValueError(f"{self.workload}@{self.device}: resources must be non-negative")
+
+    @property
+    def resource_demand(self) -> ResourceVector:
+        """Resource vector a single deployment of this workload occupies (R^k_ij)."""
+        return ResourceVector.of(
+            cpu_cores=self.cpu_cores,
+            memory_mb=self.memory_mb,
+            gpu_memory_mb=self.gpu_memory_mb,
+        )
+
+    def max_request_rate(self) -> float:
+        """Requests/second one deployment can sustain (1 / inference time)."""
+        return 1000.0 / self.latency_ms
+
+    def energy_per_hour_j(self, request_rate_rps: float) -> float:
+        """Dynamic energy per hour at the given request rate, joules."""
+        if request_rate_rps < 0:
+            raise ValueError("request_rate_rps must be non-negative")
+        return self.energy_per_request_j * request_rate_rps * 3600.0
+
+
+def _p(workload: str, device: str, energy_j: float, latency_ms: float, gpu_mb: float,
+       cpu_cores: float = 1.0, memory_mb: float = 2048.0) -> WorkloadProfile:
+    return WorkloadProfile(workload=workload, device=device, energy_per_request_j=energy_j,
+                           latency_ms=latency_ms, gpu_memory_mb=gpu_mb,
+                           cpu_cores=cpu_cores, memory_mb=memory_mb)
+
+
+#: The full profile table keyed by (workload, device).
+PROFILE_TABLE: dict[tuple[str, str], WorkloadProfile] = {
+    (p.workload, p.device): p for p in (
+        # EfficientNetB0: smallest model — lowest energy, modest memory.
+        _p("EfficientNetB0", "Orin Nano", 0.050, 8.0, 180.0),
+        _p("EfficientNetB0", "NVIDIA A2", 0.072, 4.2, 220.0),
+        _p("EfficientNetB0", "GTX 1080", 0.110, 2.6, 260.0),
+        # ResNet50: mid-sized classifier.
+        _p("ResNet50", "Orin Nano", 0.170, 16.0, 260.0),
+        _p("ResNet50", "NVIDIA A2", 0.230, 7.5, 300.0),
+        _p("ResNet50", "GTX 1080", 0.360, 4.1, 340.0),
+        # YOLOv4: detection model — ~45x the energy of EfficientNetB0.
+        _p("YOLOv4", "Orin Nano", 2.20, 38.0, 430.0),
+        _p("YOLOv4", "NVIDIA A2", 2.90, 18.5, 480.0),
+        _p("YOLOv4", "GTX 1080", 4.40, 10.2, 520.0),
+        # CPU-based sensor-processing application (numpy pipeline on the Xeon).
+        _p(CPU_APP_NAME, CPU_DEVICE_NAME, 9.0, 52.0, 0.0, cpu_cores=4.0, memory_mb=4096.0),
+    )
+}
+
+
+def get_profile(workload: str, device: str) -> WorkloadProfile:
+    """Look up the profile for a (workload, device) pair."""
+    try:
+        return PROFILE_TABLE[(workload, device)]
+    except KeyError:
+        known = sorted({w for w, _ in PROFILE_TABLE})
+        raise KeyError(
+            f"no profile for workload {workload!r} on device {device!r}; "
+            f"known workloads: {known}") from None
+
+
+def profiles_for_model(workload: str) -> dict[str, WorkloadProfile]:
+    """All device profiles for one workload, keyed by device name."""
+    out = {device: profile for (w, device), profile in PROFILE_TABLE.items() if w == workload}
+    if not out:
+        raise KeyError(f"no profiles for workload {workload!r}")
+    return out
+
+
+def energy_spread_across_models(device: str) -> float:
+    """Max/min per-request energy ratio across ML models on one device (paper: ~45x)."""
+    energies = [get_profile(m, device).energy_per_request_j for m in MODEL_NAMES]
+    return max(energies) / min(energies)
+
+
+def energy_spread_across_devices(workload: str) -> float:
+    """Max/min per-request energy ratio across devices for one model (paper: ~2x)."""
+    energies = [get_profile(workload, d).energy_per_request_j for d in DEVICE_NAMES]
+    return max(energies) / min(energies)

@@ -1,0 +1,80 @@
+"""Request-level load generation (the Locust stand-in for the emulated testbed).
+
+The testbed experiments drive each deployed application with a stream of
+inference/processing requests and measure per-request response time and energy.
+:func:`generate_request_load` produces the request timestamps for an open-loop
+(Poisson) arrival process over an experiment window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import substream
+
+
+@dataclass
+class RequestLoad:
+    """Request arrival times for one application over an experiment window."""
+
+    app_id: str
+    arrival_times_s: np.ndarray
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        self.arrival_times_s = np.asarray(self.arrival_times_s, dtype=float)
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if self.arrival_times_s.ndim != 1:
+            raise ValueError("arrival_times_s must be 1-D")
+        if len(self.arrival_times_s) and (
+                self.arrival_times_s.min() < 0 or self.arrival_times_s.max() > self.duration_s):
+            raise ValueError("arrival times must lie within [0, duration_s]")
+
+    def __len__(self) -> int:
+        return len(self.arrival_times_s)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Observed mean request rate over the window."""
+        return len(self.arrival_times_s) / self.duration_s
+
+    def requests_in_window(self, start_s: float, end_s: float) -> int:
+        """Number of requests arriving within [start_s, end_s)."""
+        if end_s < start_s:
+            raise ValueError("end_s must be >= start_s")
+        return int(np.count_nonzero(
+            (self.arrival_times_s >= start_s) & (self.arrival_times_s < end_s)))
+
+    def hourly_counts(self) -> np.ndarray:
+        """Requests per hour over the window (length = ceil(duration / 3600))."""
+        n_hours = int(np.ceil(self.duration_s / 3600.0))
+        edges = np.arange(n_hours + 1) * 3600.0
+        counts, _ = np.histogram(self.arrival_times_s, bins=edges)
+        return counts
+
+
+def generate_request_load(app_id: str, rate_rps: float, duration_s: float,
+                          seed: int = 0) -> RequestLoad:
+    """Generate a Poisson (open-loop) request arrival process.
+
+    Parameters
+    ----------
+    app_id:
+        Application the load belongs to (also seeds the stream).
+    rate_rps:
+        Mean request rate, requests per second.
+    duration_s:
+        Window length in seconds.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    rng = substream(seed, "request-load", app_id)
+    expected = rate_rps * duration_s
+    n = int(rng.poisson(expected))
+    times = np.sort(rng.uniform(0.0, duration_s, size=n))
+    return RequestLoad(app_id=app_id, arrival_times_s=times, duration_s=float(duration_s))

@@ -1,0 +1,105 @@
+"""Mesoscale-analysis and reporting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mesoscale import (
+    radius_latency_analysis,
+    radius_savings_analysis,
+    region_snapshot,
+    savings_cdf,
+    yearly_region_stats,
+)
+from repro.analysis.reporting import format_cdf, format_series, format_table
+from repro.analysis.savings import carbon_savings_pct, compare_solutions
+from repro.carbon.traces import TraceSet
+from repro.core.policies import CarbonEdgePolicy, LatencyAwarePolicy
+from repro.datasets.akamai import build_cdn_footprint
+from repro.datasets.regions import FLORIDA
+
+
+def test_region_snapshot(florida_traces):
+    snap = region_snapshot(FLORIDA, florida_traces, hour=12)
+    assert set(snap.intensities) == set(FLORIDA.city_names)
+    assert snap.spread_ratio >= 1.0
+    assert snap.width_km > 100 and snap.height_km > 100
+
+
+def test_yearly_region_stats(florida_traces):
+    stats = yearly_region_stats(FLORIDA, florida_traces)
+    assert stats["region"] == "Florida"
+    assert stats["ratio"] >= 1.0
+    assert min(stats["means"], key=stats["means"].get) == "Miami"
+
+
+def _footprint_traces(footprint):
+    zone_ids = footprint.zone_ids()
+    rng = np.random.default_rng(0)
+    return TraceSet.from_mapping({z: np.full(24, float(rng.uniform(50, 800)))
+                                  for z in zone_ids})
+
+
+def test_radius_savings_monotone_in_radius():
+    footprint = build_cdn_footprint(n_sites=80, seed=2)
+    traces = _footprint_traces(footprint)
+    small = radius_savings_analysis(footprint, traces, 200.0)
+    large = radius_savings_analysis(footprint, traces, 1000.0)
+    assert small.shape == large.shape
+    assert np.all(large >= small - 1e-9)
+    assert np.all(small >= 0.0) and np.all(small <= 100.0)
+
+
+def test_radius_savings_validation():
+    footprint = build_cdn_footprint(n_sites=20, seed=2)
+    traces = _footprint_traces(footprint)
+    with pytest.raises(ValueError):
+        radius_savings_analysis(footprint, traces, 0.0)
+    with pytest.raises(ValueError):
+        radius_savings_analysis(footprint, traces, 100.0, continents=("ASIA",))
+
+
+def test_radius_latency_grows_with_radius():
+    footprint = build_cdn_footprint(n_sites=60, seed=2)
+    near = radius_latency_analysis(footprint, 200.0)
+    far = radius_latency_analysis(footprint, 1000.0)
+    assert len(far) > len(near)
+    assert np.median(far) > np.median(near)
+
+
+def test_savings_cdf_summary():
+    savings = np.array([0.0, 10.0, 25.0, 50.0, 80.0])
+    cdf = savings_cdf(savings)
+    assert cdf["below_20"] == pytest.approx(0.4)
+    assert cdf["above_40"] == pytest.approx(0.4)
+    assert cdf["median"] == pytest.approx(25.0)
+    with pytest.raises(ValueError):
+        savings_cdf(np.array([]))
+
+
+def test_carbon_savings_pct():
+    assert carbon_savings_pct(100.0, 40.0) == pytest.approx(60.0)
+    assert carbon_savings_pct(0.0, 0.0) == 0.0
+    with pytest.raises(ValueError):
+        carbon_savings_pct(-1.0, 0.0)
+
+
+def test_compare_solutions(central_eu_problem):
+    baseline = LatencyAwarePolicy().timed_place(central_eu_problem)
+    policy = CarbonEdgePolicy().timed_place(central_eu_problem)
+    comparison = compare_solutions(baseline, policy)
+    assert comparison.carbon_savings_pct > 0.0
+    assert comparison.latency_increase_ms >= 0.0
+    assert comparison.policy == "CarbonEdge"
+    row = comparison.as_row()
+    assert set(row) == {"policy", "carbon_savings_pct", "latency_increase_ms", "energy_ratio"}
+
+
+def test_format_table_and_series_and_cdf():
+    table = format_table([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}], title="T")
+    assert "T" in table and "a" in table and "2.50" in table
+    assert "(no rows)" in format_table([])
+    series = format_series({"x": [1.0, 2.0]}, title="S")
+    assert "x: [1.00, 2.00]" in series
+    cdf = format_cdf([1.0, 2.0, 3.0], title="C")
+    assert "p50" in cdf
+    assert "(empty)" in format_cdf([])

@@ -1,0 +1,101 @@
+"""Generation-mix model tests."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.energy_mix import (
+    demand_profile,
+    hourly_mix_profile,
+    hydro_capacity_factor,
+    solar_capacity_factor,
+    wind_capacity_factor,
+)
+from repro.datasets.electricity_maps import default_zone_catalog
+from repro.utils.rng import substream
+
+
+def test_solar_zero_at_night_positive_at_noon():
+    hours = np.arange(24)
+    cf = solar_capacity_factor(hours, seasonality=0.5)
+    assert cf[0] == 0.0 and cf[3] == 0.0
+    assert cf[13] == cf.max() > 0.5
+
+
+def test_solar_summer_stronger_than_winter():
+    winter_noon = solar_capacity_factor(np.array([12]), seasonality=0.8)[0]
+    summer_noon = solar_capacity_factor(np.array([172 * 24 + 12]), seasonality=0.8)[0]
+    assert summer_noon > winter_noon
+
+
+def test_solar_no_seasonality_flat_across_year():
+    winter = solar_capacity_factor(np.array([12]), seasonality=0.0)[0]
+    summer = solar_capacity_factor(np.array([172 * 24 + 12]), seasonality=0.0)[0]
+    assert winter == pytest.approx(summer, rel=1e-6)
+
+
+def test_wind_bounds_and_determinism():
+    rng1 = substream(0, "w")
+    rng2 = substream(0, "w")
+    a = wind_capacity_factor(500, 0.25, rng1)
+    b = wind_capacity_factor(500, 0.25, rng2)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0.1 and a.max() <= 1.0
+
+
+def test_wind_rejects_non_positive_length():
+    with pytest.raises(ValueError):
+        wind_capacity_factor(0, 0.25, substream(0, "w"))
+
+
+def test_hydro_seasonal_band():
+    cf = hydro_capacity_factor(np.arange(8760))
+    assert cf.min() >= 0.69 and cf.max() <= 1.01
+
+
+def test_demand_profile_mean_near_one():
+    demand = demand_profile(np.arange(8760))
+    assert demand.mean() == pytest.approx(1.0, abs=0.05)
+    assert demand.min() > 0.5
+
+
+def test_hourly_mix_shares_sum_to_one():
+    spec = default_zone_catalog().get("US-CA")
+    mix = hourly_mix_profile(spec, n_hours=336, seed=1)
+    mix.validate()
+    total = sum(mix.shares.values())
+    assert np.allclose(total, 1.0, atol=1e-3)
+
+
+def test_hourly_mix_annual_shares_near_spec():
+    spec = default_zone_catalog().get("EU-PL")
+    mix = hourly_mix_profile(spec, n_hours=8760, seed=1)
+    mean_shares = mix.mean_shares()
+    # Coal-heavy Poland should remain coal-dominated in the hourly expansion.
+    assert mean_shares.get("coal", 0.0) > 0.3
+
+
+def test_hourly_mix_solar_zero_at_night():
+    spec = default_zone_catalog().get("US-CA")
+    mix = hourly_mix_profile(spec, n_hours=48, seed=1)
+    assert mix.shares["solar"][2] == pytest.approx(0.0, abs=1e-9)
+    assert mix.shares["solar"][13] > 0.0
+
+
+def test_hourly_mix_intensity_positive():
+    spec = default_zone_catalog().get("EU-FR")
+    mix = hourly_mix_profile(spec, n_hours=168, seed=1)
+    intensity = mix.intensity()
+    assert intensity.shape == (168,)
+    assert np.all(intensity > 0)
+
+
+def test_hourly_mix_rejects_bad_length():
+    spec = default_zone_catalog().get("EU-FR")
+    with pytest.raises(ValueError):
+        hourly_mix_profile(spec, n_hours=0)
+
+
+def test_zones_without_solar_have_no_solar_share():
+    spec = default_zone_catalog().get("EU-NO")  # hydro/wind only
+    mix = hourly_mix_profile(spec, n_hours=48, seed=1)
+    assert "solar" not in mix.shares or np.allclose(mix.shares["solar"], 0.0)

@@ -1,0 +1,67 @@
+"""Forecaster tests."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecasting import (
+    MovingAverageForecaster,
+    OracleForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.carbon.traces import CarbonIntensityTrace
+
+
+@pytest.fixture
+def sawtooth_trace():
+    # 0..23 repeated: perfectly 24h-periodic.
+    return CarbonIntensityTrace(zone_id="Z", values=np.tile(np.arange(24, dtype=float), 4))
+
+
+def test_oracle_returns_future(sawtooth_trace):
+    forecast = OracleForecaster().forecast(sawtooth_trace, now_hour=10, horizon_hours=5)
+    assert forecast.tolist() == [10, 11, 12, 13, 14]
+
+
+def test_oracle_mean(sawtooth_trace):
+    assert OracleForecaster().forecast_mean(sawtooth_trace, 0, 24) == pytest.approx(11.5)
+
+
+def test_persistence_is_flat(sawtooth_trace):
+    forecast = PersistenceForecaster().forecast(sawtooth_trace, now_hour=7, horizon_hours=6)
+    assert np.all(forecast == 7.0)
+
+
+def test_moving_average_uses_trailing_window(sawtooth_trace):
+    forecaster = MovingAverageForecaster(window_hours=24)
+    forecast = forecaster.forecast(sawtooth_trace, now_hour=23, horizon_hours=3)
+    assert np.all(forecast == pytest.approx(11.5))
+
+
+def test_moving_average_rejects_bad_window():
+    with pytest.raises(ValueError):
+        MovingAverageForecaster(window_hours=0)
+
+
+def test_seasonal_naive_replays_previous_day(sawtooth_trace):
+    forecaster = SeasonalNaiveForecaster(season_hours=24)
+    forecast = forecaster.forecast(sawtooth_trace, now_hour=24, horizon_hours=24)
+    # The previous day is identical for a periodic trace → perfect forecast.
+    actual = sawtooth_trace.window(24, 24)
+    assert np.allclose(forecast, actual)
+
+
+def test_seasonal_naive_rejects_bad_season():
+    with pytest.raises(ValueError):
+        SeasonalNaiveForecaster(season_hours=-1)
+
+
+def test_forecast_mean_rejects_bad_horizon(sawtooth_trace):
+    with pytest.raises(ValueError):
+        OracleForecaster().forecast_mean(sawtooth_trace, 0, 0)
+
+
+def test_forecasters_return_requested_horizon(sawtooth_trace):
+    for forecaster in (OracleForecaster(), PersistenceForecaster(),
+                       MovingAverageForecaster(), SeasonalNaiveForecaster()):
+        assert len(forecaster.forecast(sawtooth_trace, 5, 17)) == 17

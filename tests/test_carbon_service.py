@@ -1,0 +1,74 @@
+"""Carbon-intensity service tests."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.forecasting import PersistenceForecaster
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import TraceSet
+
+
+@pytest.fixture
+def service():
+    traces = TraceSet.from_mapping({
+        "green": np.full(48, 50.0),
+        "dirty": np.concatenate([np.full(24, 600.0), np.full(24, 400.0)]),
+    })
+    return CarbonIntensityService(traces=traces, horizon_hours=24)
+
+
+def test_requires_traces():
+    with pytest.raises(ValueError):
+        CarbonIntensityService(traces=TraceSet())
+
+
+def test_requires_positive_horizon():
+    traces = TraceSet.from_mapping({"a": np.ones(4)})
+    with pytest.raises(ValueError):
+        CarbonIntensityService(traces=traces, horizon_hours=0)
+
+
+def test_zone_queries(service):
+    assert service.zones() == ["dirty", "green"]
+    assert service.has_zone("green") and not service.has_zone("nope")
+
+
+def test_current_intensity(service):
+    assert service.current_intensity("dirty", 0) == 600.0
+    assert service.current_intensity("dirty", 30) == 400.0
+
+
+def test_current_intensities_vector(service):
+    values = service.current_intensities(["green", "dirty"], 0)
+    assert values.tolist() == [50.0, 600.0]
+
+
+def test_forecast_mean_oracle_default(service):
+    # Over hours 12..35 the dirty zone averages (12*600 + 12*400)/24 = 500.
+    assert service.forecast_mean("dirty", 12) == pytest.approx(500.0)
+
+
+def test_forecast_mean_with_persistence():
+    traces = TraceSet.from_mapping({"z": np.arange(48, dtype=float) + 1})
+    service = CarbonIntensityService(traces=traces, forecaster=PersistenceForecaster())
+    assert service.forecast_mean("z", 10) == pytest.approx(11.0)
+
+
+def test_forecast_means_vector(service):
+    means = service.forecast_means(["green", "dirty"], 0, horizon_hours=24)
+    assert means.tolist() == [50.0, 600.0]
+
+
+def test_greenest_zone(service):
+    assert service.greenest_zone(["green", "dirty"], 0) == "green"
+    with pytest.raises(ValueError):
+        service.greenest_zone([], 0)
+
+
+def test_mean_intensity(service):
+    assert service.mean_intensity("dirty") == pytest.approx(500.0)
+
+
+def test_unknown_zone_raises(service):
+    with pytest.raises(KeyError):
+        service.current_intensity("missing", 0)

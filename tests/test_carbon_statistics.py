@@ -1,0 +1,66 @@
+"""Carbon statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.statistics import (
+    coefficient_of_variation,
+    max_min_ratio,
+    monthly_means,
+    pairwise_percentage_difference,
+    regional_summary,
+    spatial_spread,
+    temporal_range,
+)
+from repro.carbon.traces import TraceSet
+
+
+@pytest.fixture
+def traces():
+    return TraceSet.from_mapping({
+        "a": np.full(8760, 100.0),
+        "b": np.full(8760, 400.0),
+        "c": np.linspace(100.0, 300.0, 8760),
+    })
+
+
+def test_spatial_spread(traces):
+    spread = spatial_spread(traces, ["a", "b"], hour=0)
+    assert spread["min"] == 100.0 and spread["max"] == 400.0
+    assert spread["ratio"] == pytest.approx(4.0)
+    assert spread["range"] == pytest.approx(300.0)
+
+
+def test_max_min_ratio(traces):
+    assert max_min_ratio(traces, ["a", "b"]) == pytest.approx(4.0)
+    assert max_min_ratio(traces, ["a"]) == pytest.approx(1.0)
+
+
+def test_pairwise_percentage_difference(traces):
+    assert pairwise_percentage_difference(traces, "b", "a") == pytest.approx(75.0)
+    assert pairwise_percentage_difference(traces, "a", "b") == pytest.approx(-300.0)
+
+
+def test_temporal_range(traces):
+    assert temporal_range(traces, "a", 0, 100) == 0.0
+    assert temporal_range(traces, "c", 0, 8760) == pytest.approx(200.0)
+
+
+def test_monthly_means_keys_and_monotonicity(traces):
+    months = monthly_means(traces, "c")
+    assert list(months) == ["Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                            "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"]
+    values = list(months.values())
+    assert values == sorted(values)  # the linear trace grows month over month
+
+
+def test_coefficient_of_variation(traces):
+    assert coefficient_of_variation(traces, "a") == 0.0
+    assert coefficient_of_variation(traces, "c") > 0.0
+
+
+def test_regional_summary(traces):
+    summary = regional_summary(traces, ["a", "c"])
+    assert set(summary) == {"a", "c"}
+    assert summary["a"]["mean"] == pytest.approx(100.0)
+    assert set(summary["c"]) == {"mean", "min", "max", "cv"}

@@ -1,0 +1,79 @@
+"""Synthetic trace-generator tests (calibration against the paper's spreads)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.statistics import max_min_ratio
+from repro.carbon.synthetic import SyntheticTraceGenerator, generate_trace, generate_traces
+from repro.datasets.regions import CENTRAL_EU, FLORIDA, WEST_US
+from repro.datasets.electricity_maps import default_zone_catalog
+
+
+def test_trace_length_and_positivity():
+    trace = generate_trace("US-CA", seed=0, n_hours=336)
+    assert len(trace) == 336
+    assert trace.min() >= 1.0
+
+
+def test_generation_is_deterministic():
+    a = generate_trace("EU-PL", seed=4, n_hours=168)
+    b = generate_trace("EU-PL", seed=4, n_hours=168)
+    assert np.array_equal(a.values, b.values)
+
+
+def test_different_seeds_differ():
+    a = generate_trace("EU-PL", seed=1, n_hours=168)
+    b = generate_trace("EU-PL", seed=2, n_hours=168)
+    assert not np.array_equal(a.values, b.values)
+
+
+def test_mean_tracks_static_mix_intensity():
+    catalog = default_zone_catalog()
+    for zone_id in ("EU-PL", "CA-ON", "US-FL-MIA"):
+        spec = catalog.get(zone_id)
+        trace = generate_trace(zone_id, seed=0, n_hours=8760)
+        assert trace.mean() == pytest.approx(spec.annual_mean_intensity, rel=0.45)
+
+
+def test_poland_dirtier_than_ontario():
+    traces = generate_traces(["EU-PL", "CA-ON"], seed=0, n_hours=8760)
+    assert traces.get("EU-PL").mean() > 5 * traces.get("CA-ON").mean()
+
+
+def test_west_us_yearly_ratio_band():
+    traces = generate_traces(WEST_US.zone_ids(), seed=0)
+    ratio = max_min_ratio(traces, WEST_US.zone_ids())
+    assert 1.8 <= ratio <= 4.0  # paper: 2.7x
+
+
+def test_central_eu_yearly_ratio_band():
+    traces = generate_traces(CENTRAL_EU.zone_ids(), seed=0)
+    ratio = max_min_ratio(traces, CENTRAL_EU.zone_ids())
+    assert 6.0 <= ratio <= 16.0  # paper: 10.8x
+
+
+def test_miami_is_greenest_florida_zone():
+    traces = generate_traces(FLORIDA.zone_ids(), seed=0)
+    means = {z: traces.get(z).mean() for z in FLORIDA.zone_ids()}
+    assert min(means, key=means.get) == "US-FL-MIA"
+
+
+def test_generate_set_covers_requested_zones():
+    generator = SyntheticTraceGenerator(seed=0, n_hours=24)
+    catalog = default_zone_catalog()
+    ts = generator.generate_set([catalog.get("US-CA"), catalog.get("US-NY")])
+    assert ts.zone_ids() == ["US-CA", "US-NY"]
+    assert ts.n_hours == 24
+
+
+def test_generate_catalog_subset():
+    generator = SyntheticTraceGenerator(seed=0, n_hours=24)
+    ts = generator.generate_catalog(zone_ids=["EU-PL"])
+    assert ts.zone_ids() == ["EU-PL"]
+
+
+def test_diurnal_structure_in_solar_zones():
+    trace = generate_trace("US-CA", seed=0, n_hours=8760)
+    profile = trace.daily_profile()
+    # California's duck curve: mid-day intensity below the overnight level.
+    assert profile[13] < profile[3]

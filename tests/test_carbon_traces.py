@@ -1,0 +1,119 @@
+"""Carbon-intensity trace container tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.carbon.traces import CarbonIntensityTrace, TraceSet
+
+
+def _trace(zone="Z", n=48, base=100.0):
+    return CarbonIntensityTrace(zone_id=zone, values=base + np.arange(n, dtype=float))
+
+
+def test_trace_validation_rejects_negative():
+    with pytest.raises(ValueError, match="negative"):
+        CarbonIntensityTrace(zone_id="Z", values=np.array([1.0, -2.0]))
+
+
+def test_trace_validation_rejects_nan():
+    with pytest.raises(ValueError, match="non-finite"):
+        CarbonIntensityTrace(zone_id="Z", values=np.array([1.0, np.nan]))
+
+
+def test_trace_validation_rejects_empty_and_2d():
+    with pytest.raises(ValueError):
+        CarbonIntensityTrace(zone_id="Z", values=np.array([]))
+    with pytest.raises(ValueError):
+        CarbonIntensityTrace(zone_id="Z", values=np.ones((2, 2)))
+
+
+def test_at_wraps_around():
+    trace = _trace(n=24)
+    assert trace.at(0) == trace.at(24) == trace.at(48)
+
+
+def test_window_wraps_and_length():
+    trace = _trace(n=24)
+    window = trace.window(20, 8)
+    assert len(window) == 8
+    assert window[0] == trace.at(20)
+    assert window[4] == trace.at(0)
+
+
+def test_window_rejects_non_positive():
+    with pytest.raises(ValueError):
+        _trace().window(0, 0)
+
+
+def test_summary_statistics():
+    trace = _trace(n=10, base=0.0)
+    assert trace.min() == 0.0
+    assert trace.max() == 9.0
+    assert trace.mean() == pytest.approx(4.5)
+
+
+def test_monthly_mean_requires_full_year():
+    with pytest.raises(ValueError):
+        _trace(n=100).monthly_mean(1)
+
+
+def test_monthly_mean_full_year():
+    trace = CarbonIntensityTrace(zone_id="Z", values=np.ones(8760) * 42.0)
+    assert trace.monthly_mean(6) == pytest.approx(42.0)
+
+
+def test_daily_profile_shape_and_mean():
+    trace = _trace(n=72)
+    profile = trace.daily_profile()
+    assert profile.shape == (24,)
+    assert profile.mean() == pytest.approx(trace.values[:72].mean())
+
+
+def test_rolling_mean_length_and_smoothing():
+    trace = _trace(n=48)
+    rolled = trace.rolling_mean(6)
+    assert len(rolled) == 48
+    assert rolled.std() <= trace.values.std()
+
+
+@given(st.integers(min_value=1, max_value=200), st.integers(min_value=0, max_value=500))
+def test_window_always_within_bounds_property(n_hours, start):
+    trace = CarbonIntensityTrace(zone_id="Z", values=np.abs(np.arange(24, dtype=float)) + 1)
+    window = trace.window(start, n_hours)
+    assert len(window) == n_hours
+    assert window.min() >= trace.min() and window.max() <= trace.max()
+
+
+def test_traceset_shared_axis_enforced():
+    ts = TraceSet()
+    ts.add(_trace("A", n=24))
+    with pytest.raises(ValueError):
+        ts.add(_trace("B", n=48))
+
+
+def test_traceset_lookup_and_matrix():
+    ts = TraceSet.from_mapping({"B": np.ones(12), "A": np.full(12, 2.0)})
+    assert ts.zone_ids() == ["A", "B"]
+    matrix = ts.matrix()
+    assert matrix.shape == (2, 12)
+    assert np.all(matrix[0] == 2.0)
+    assert ts.at(3).tolist() == [2.0, 1.0]
+
+
+def test_traceset_subset_and_means():
+    ts = TraceSet.from_mapping({"A": np.ones(12), "B": np.full(12, 3.0)})
+    sub = ts.subset(["B"])
+    assert sub.zone_ids() == ["B"]
+    assert ts.means()["B"] == pytest.approx(3.0)
+
+
+def test_traceset_unknown_zone():
+    with pytest.raises(KeyError):
+        TraceSet().get("missing")
+
+
+def test_traceset_n_hours():
+    assert TraceSet().n_hours == 0
+    ts = TraceSet.from_mapping({"A": np.ones(7)})
+    assert ts.n_hours == 7

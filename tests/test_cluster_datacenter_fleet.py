@@ -1,0 +1,116 @@
+"""Edge data center and fleet tests."""
+
+import pytest
+
+from repro.cluster.datacenter import EdgeDataCenter
+from repro.cluster.fleet import build_cdn_fleet, build_regional_fleet
+from repro.cluster.hardware import ORIN_NANO
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer, PowerState
+from repro.datasets.akamai import build_cdn_footprint
+from repro.datasets.regions import CENTRAL_EU, FLORIDA
+from repro.workloads.demand import capacity_weights_from_population
+
+
+def test_datacenter_rejects_inconsistent_servers():
+    dc = EdgeDataCenter(site="Miami", zone_id="US-FL-MIA", lat=25.76, lon=-80.19)
+    with pytest.raises(ValueError):
+        dc.add_server(EdgeServer(server_id="s", site="Tampa", zone_id="US-FL-MIA"))
+    with pytest.raises(ValueError):
+        dc.add_server(EdgeServer(server_id="s", site="Miami", zone_id="US-FL-TPA"))
+
+
+def test_datacenter_duplicate_server_ids_rejected():
+    dc = EdgeDataCenter(site="Miami", zone_id="US-FL-MIA", lat=25.76, lon=-80.19)
+    dc.add_server(EdgeServer(server_id="s", site="Miami", zone_id="US-FL-MIA"))
+    with pytest.raises(ValueError):
+        dc.add_server(EdgeServer(server_id="s", site="Miami", zone_id="US-FL-MIA"))
+
+
+def test_datacenter_capacity_and_power():
+    dc = EdgeDataCenter(site="Miami", zone_id="US-FL-MIA", lat=25.76, lon=-80.19)
+    s1 = EdgeServer(server_id="s1", site="Miami", zone_id="US-FL-MIA")
+    s2 = EdgeServer(server_id="s2", site="Miami", zone_id="US-FL-MIA")
+    dc.add_server(s1)
+    dc.add_server(s2)
+    assert dc.total_capacity()["cpu_cores"] == 80
+    assert dc.base_power_w() == 0.0  # both off
+    s1.power_on()
+    assert dc.powered_on_servers() == [s1]
+    assert dc.base_power_w() == pytest.approx(s1.base_power_w)
+    assert dc.server("s2") is s2
+    with pytest.raises(KeyError):
+        dc.server("nope")
+
+
+def test_regional_fleet_structure():
+    fleet = build_regional_fleet(FLORIDA)
+    assert len(fleet) == 5
+    assert fleet.sites() == list(FLORIDA.city_names)
+    assert len(fleet.servers()) == 5
+    assert all(s.is_on for s in fleet.servers())
+    assert fleet.zone_ids() == sorted(FLORIDA.zone_ids())
+
+
+def test_regional_fleet_multiple_servers_and_powered_off():
+    fleet = build_regional_fleet(CENTRAL_EU, servers_per_site=3, powered_on=False)
+    assert len(fleet.servers()) == 15
+    assert all(not s.is_on for s in fleet.servers())
+    with pytest.raises(ValueError):
+        build_regional_fleet(CENTRAL_EU, servers_per_site=0)
+
+
+def test_fleet_lookup_and_reset():
+    fleet = build_regional_fleet(FLORIDA)
+    server = fleet.servers()[0]
+    assert fleet.server(server.server_id) is server
+    with pytest.raises(KeyError):
+        fleet.server("missing")
+    with pytest.raises(KeyError):
+        fleet.datacenter("missing")
+    server.allocate("a", ResourceVector.of(cpu_cores=1))
+    fleet.reset_allocations(PowerState.OFF)
+    assert not server.allocations and not server.is_on
+
+
+def test_fleet_site_coordinates_shape():
+    fleet = build_regional_fleet(FLORIDA)
+    assert fleet.site_coordinates().shape == (5, 2)
+
+
+def test_cdn_fleet_dedupes_cities():
+    footprint = build_cdn_footprint(n_sites=50, seed=1)
+    fleet = build_cdn_fleet(footprint)
+    assert len(fleet) == len(footprint.one_per_city())
+
+
+def test_cdn_fleet_accelerator_mix():
+    footprint = build_cdn_footprint(n_sites=60, seed=1)
+    fleet = build_cdn_fleet(footprint, servers_per_site=2,
+                            accelerator_mix=("Orin Nano", "GTX 1080"), seed=3)
+    devices = {s.device_name for s in fleet.servers()}
+    assert devices <= {"Orin Nano", "GTX 1080"}
+    assert len(devices) == 2
+
+
+def test_cdn_fleet_single_accelerator():
+    footprint = build_cdn_footprint(n_sites=30, seed=1)
+    fleet = build_cdn_fleet(footprint, accelerator=ORIN_NANO)
+    assert all(s.device_name == "Orin Nano" for s in fleet.servers())
+
+
+def test_cdn_fleet_capacity_weights_scale_server_counts():
+    footprint = build_cdn_footprint(n_sites=200, seed=1)
+    cities = [s.city_name for s in footprint.one_per_city()]
+    weights = capacity_weights_from_population(cities)
+    fleet = build_cdn_fleet(footprint, servers_per_site=2, capacity_weights=weights)
+    counts = {dc.site: len(dc) for dc in fleet}
+    assert counts["New York"] > counts["Kingman"]
+    assert min(counts.values()) >= 1
+    assert max(counts.values()) <= 8
+
+
+def test_cdn_fleet_invalid_servers_per_site():
+    footprint = build_cdn_footprint(n_sites=10, seed=1)
+    with pytest.raises(ValueError):
+        build_cdn_fleet(footprint, servers_per_site=0)

@@ -1,0 +1,82 @@
+"""Hardware-catalogue and power-model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.hardware import (
+    DEVICE_CATALOG,
+    GTX_1080,
+    NVIDIA_A2,
+    ORIN_NANO,
+    XEON_E5_2660V3,
+    DeviceSpec,
+    device_by_name,
+)
+from repro.cluster.power import IdleProportionalPowerModel, LinearPowerModel
+from repro.cluster.resources import ResourceVector
+
+
+def test_catalog_contents():
+    assert set(DEVICE_CATALOG) == {"Xeon E5-2660v3", "NVIDIA A2", "Orin Nano", "GTX 1080"}
+    assert device_by_name("NVIDIA A2") is NVIDIA_A2
+    with pytest.raises(KeyError):
+        device_by_name("H100")
+
+
+def test_paper_device_specs():
+    # Section 6.1.2: A2 has 1280 CUDA cores / 16 GB / 60 W; Orin Nano 1024 / 8 GB / 15 W;
+    # GTX 1080 2560 / 8 GB / 180 W; the host is a 40-core Xeon with 256 GB.
+    assert NVIDIA_A2.cuda_cores == 1280 and NVIDIA_A2.max_power_w == 60.0
+    assert NVIDIA_A2.capacity["gpu_memory_mb"] == 16_000
+    assert ORIN_NANO.cuda_cores == 1024 and ORIN_NANO.max_power_w == 15.0
+    assert GTX_1080.cuda_cores == 2560 and GTX_1080.max_power_w == 180.0
+    assert XEON_E5_2660V3.capacity["cpu_cores"] == 40
+
+
+def test_device_validation():
+    with pytest.raises(ValueError):
+        DeviceSpec(name="x", kind="tpu", capacity=ResourceVector(), idle_power_w=1, max_power_w=2)
+    with pytest.raises(ValueError):
+        DeviceSpec(name="x", kind="gpu", capacity=ResourceVector(), idle_power_w=10, max_power_w=5)
+
+
+def test_dynamic_power_range():
+    assert NVIDIA_A2.dynamic_power_range_w == pytest.approx(52.0)
+
+
+def test_linear_power_model_endpoints():
+    model = LinearPowerModel(idle_w=100.0, max_w=300.0)
+    assert model.power_w(0.0) == 100.0
+    assert model.power_w(1.0) == 300.0
+    assert model.power_w(0.5) == 200.0
+
+
+def test_linear_power_model_energy():
+    model = LinearPowerModel(idle_w=100.0, max_w=300.0)
+    assert model.energy_j(0.5, 10.0) == pytest.approx(2000.0)
+    assert model.dynamic_energy_j(0.5, 10.0) == pytest.approx(1000.0)
+
+
+def test_power_model_validation():
+    with pytest.raises(ValueError):
+        LinearPowerModel(idle_w=10.0, max_w=5.0)
+    with pytest.raises(ValueError):
+        LinearPowerModel(idle_w=10.0, max_w=20.0).power_w(1.5)
+    with pytest.raises(ValueError):
+        LinearPowerModel(idle_w=10.0, max_w=20.0).energy_j(0.5, -1.0)
+
+
+def test_idle_proportional_model_sublinear():
+    model = IdleProportionalPowerModel(idle_w=100.0, max_w=300.0, exponent=0.5)
+    linear = LinearPowerModel(idle_w=100.0, max_w=300.0)
+    assert model.power_w(0.25) > linear.power_w(0.25)
+    assert model.power_w(0.0) == 100.0 and model.power_w(1.0) == 300.0
+    with pytest.raises(ValueError):
+        IdleProportionalPowerModel(idle_w=1.0, max_w=2.0, exponent=0.0)
+
+
+@given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_linear_power_monotone_property(u1, u2):
+    model = LinearPowerModel(idle_w=50.0, max_w=250.0)
+    if u1 <= u2:
+        assert model.power_w(u1) <= model.power_w(u2)

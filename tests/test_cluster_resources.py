@@ -1,0 +1,105 @@
+"""Resource-vector tests (including hypothesis properties)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.resources import ResourceVector
+
+amounts = st.dictionaries(
+    st.sampled_from(["cpu_cores", "memory_mb", "gpu_memory_mb"]),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    max_size=3,
+)
+
+
+def test_construction_and_access():
+    rv = ResourceVector.of(cpu_cores=4, memory_mb=2048)
+    assert rv["cpu_cores"] == 4.0
+    assert rv["gpu_memory_mb"] == 0.0  # absent dimensions read as zero
+    assert "cpu_cores" in rv and "gpu_memory_mb" not in rv
+
+
+def test_negative_amounts_rejected():
+    with pytest.raises(ValueError):
+        ResourceVector.of(cpu_cores=-1)
+
+
+def test_addition_merges_dimensions():
+    total = ResourceVector.of(cpu_cores=2) + ResourceVector.of(memory_mb=100)
+    assert total["cpu_cores"] == 2 and total["memory_mb"] == 100
+
+
+def test_subtraction_and_underflow():
+    a = ResourceVector.of(cpu_cores=4)
+    b = ResourceVector.of(cpu_cores=1)
+    assert (a - b)["cpu_cores"] == 3
+    with pytest.raises(ValueError):
+        b - a
+
+
+def test_scaling():
+    rv = ResourceVector.of(cpu_cores=2) * 3
+    assert rv["cpu_cores"] == 6
+    with pytest.raises(ValueError):
+        rv * -1
+
+
+def test_fits_within_and_dominates():
+    demand = ResourceVector.of(cpu_cores=2, gpu_memory_mb=100)
+    capacity = ResourceVector.of(cpu_cores=4, gpu_memory_mb=100, memory_mb=1000)
+    assert demand.fits_within(capacity)
+    assert capacity.dominates(demand)
+    assert not capacity.fits_within(demand)
+
+
+def test_fits_within_missing_capacity_dimension():
+    demand = ResourceVector.of(gpu_memory_mb=10)
+    capacity = ResourceVector.of(cpu_cores=4)
+    assert not demand.fits_within(capacity)
+
+
+def test_utilization():
+    demand = ResourceVector.of(cpu_cores=2, memory_mb=500)
+    capacity = ResourceVector.of(cpu_cores=4, memory_mb=1000)
+    utils = demand.utilization_of(capacity)
+    assert utils["cpu_cores"] == pytest.approx(0.5)
+    assert demand.max_utilization_of(capacity) == pytest.approx(0.5)
+
+
+def test_zero_and_equality():
+    assert ResourceVector.zeros().is_zero()
+    assert ResourceVector.of(cpu_cores=1) == ResourceVector.of(cpu_cores=1.0)
+    assert ResourceVector.of(cpu_cores=1) != ResourceVector.of(cpu_cores=2)
+
+
+def test_copy_is_independent():
+    a = ResourceVector.of(cpu_cores=1)
+    b = a.copy()
+    b.amounts["cpu_cores"] = 5.0
+    assert a["cpu_cores"] == 1.0
+
+
+@given(amounts, amounts)
+def test_addition_commutative_property(a, b):
+    x, y = ResourceVector(a), ResourceVector(b)
+    assert (x + y) == (y + x)
+
+
+@given(amounts, amounts)
+def test_add_then_subtract_roundtrip_property(a, b):
+    x, y = ResourceVector(a), ResourceVector(b)
+    assert ((x + y) - y) == x
+
+
+@given(amounts)
+def test_self_fits_within_self_property(a):
+    x = ResourceVector(a)
+    assert x.fits_within(x)
+    assert x.dominates(x)
+
+
+@given(amounts, amounts)
+def test_sum_dominates_parts_property(a, b):
+    x, y = ResourceVector(a), ResourceVector(b)
+    assert (x + y).dominates(x)
+    assert (x + y).dominates(y)

@@ -1,0 +1,119 @@
+"""Objective-builder and MILP model-builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.filters import filter_feasible_servers
+from repro.core.model_builder import (
+    assignment_groups,
+    build_placement_model,
+    solution_from_values,
+    x_name,
+    y_name,
+)
+from repro.core.objective import (
+    ObjectiveKind,
+    carbon_objective_coefficients,
+    energy_objective_coefficients,
+    latency_objective_coefficients,
+    multi_objective_coefficients,
+    objective_coefficients,
+)
+from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver.lp_relaxation import solve_lp_relaxation
+
+
+def test_carbon_coefficients_match_problem(central_eu_problem):
+    assign, activation = carbon_objective_coefficients(central_eu_problem)
+    assert np.allclose(assign, central_eu_problem.operational_carbon_g())
+    assert np.allclose(activation, central_eu_problem.activation_carbon_g())
+
+
+def test_energy_and_latency_coefficients(central_eu_problem):
+    assign, activation = energy_objective_coefficients(central_eu_problem)
+    assert np.allclose(assign, central_eu_problem.energy_j)
+    lat_assign, lat_activation = latency_objective_coefficients(central_eu_problem)
+    assert np.allclose(lat_assign, central_eu_problem.latency_ms)
+    assert np.all(lat_activation == 0.0)
+
+
+def test_multi_objective_endpoints(central_eu_problem):
+    carbon0, _ = multi_objective_coefficients(central_eu_problem, alpha=0.0)
+    energy1, _ = multi_objective_coefficients(central_eu_problem, alpha=1.0)
+    feasible = central_eu_problem.feasible_mask()
+    # alpha=0 ranks pairs by carbon; alpha=1 by energy (after normalisation the
+    # ordering over feasible entries must match the raw coefficients).
+    raw_carbon = central_eu_problem.operational_carbon_g()[feasible]
+    raw_energy = central_eu_problem.energy_j[feasible]
+    assert np.allclose(np.argsort(carbon0[feasible]), np.argsort(raw_carbon))
+    assert np.allclose(np.argsort(energy1[feasible]), np.argsort(raw_energy))
+
+
+def test_multi_objective_normalised_range(central_eu_problem):
+    assign, activation = multi_objective_coefficients(central_eu_problem, alpha=0.5)
+    assert assign.min() >= -1e-9 and activation.min() >= -1e-9
+
+
+def test_multi_objective_invalid_alpha(central_eu_problem):
+    with pytest.raises(ValueError):
+        multi_objective_coefficients(central_eu_problem, alpha=1.5)
+
+
+def test_objective_dispatch(central_eu_problem):
+    for kind in ObjectiveKind:
+        assign, activation = objective_coefficients(central_eu_problem, kind, alpha=0.5)
+        assert assign.shape == (central_eu_problem.n_applications, central_eu_problem.n_servers)
+        assert activation.shape == (central_eu_problem.n_servers,)
+
+
+def test_model_structure(central_eu_problem):
+    model, report = build_placement_model(central_eu_problem)
+    # One y per server plus one x per feasible pair.
+    assert model.n_variables == central_eu_problem.n_servers + report.n_candidate_pairs
+    assign_rows = [c for c in model.constraints if c.name.startswith("assign")]
+    assert len(assign_rows) == central_eu_problem.n_applications
+    assert all(c.equality for c in assign_rows)
+    # Servers already on have their y lower bound pinned to 1 (Equation 4).
+    for j in range(central_eu_problem.n_servers):
+        assert model.variables[y_name(j)].lower == 1.0
+
+
+def test_model_solution_decoding(central_eu_problem):
+    model, report = build_placement_model(central_eu_problem)
+    result = BranchAndBoundSolver(rounding_groups=assignment_groups(central_eu_problem, report)
+                                  ).solve(model)
+    assert result.has_solution
+    placements, power_on = solution_from_values(central_eu_problem, report, result.values)
+    assert len(placements) == central_eu_problem.n_applications
+    assert power_on.shape == (central_eu_problem.n_servers,)
+    # Every used server is powered on in the decoded solution.
+    for j in placements.values():
+        assert power_on[j] == 1.0
+
+
+def test_model_lp_relaxation_is_integral_for_assignment_structure(central_eu_problem):
+    model, _ = build_placement_model(central_eu_problem)
+    relaxed = solve_lp_relaxation(model)
+    assert relaxed.status.has_solution
+    assert relaxed.is_integral(model.binary_names(), tol=1e-6)
+
+
+def test_model_without_power_management(central_eu_problem):
+    model, _ = build_placement_model(central_eu_problem, manage_power=False)
+    # No activation terms on y variables: their objective coefficients are absent.
+    for j in range(central_eu_problem.n_servers):
+        assert y_name(j) not in model.objective
+    assert model.objective_constant == 0.0
+
+
+def test_assignment_groups_cover_feasible_apps(central_eu_problem):
+    report = filter_feasible_servers(central_eu_problem)
+    groups = assignment_groups(central_eu_problem, report)
+    assert len(groups) == central_eu_problem.n_applications - len(report.unplaceable)
+    for i, group in enumerate(groups):
+        assert all(name.startswith("x[") for name in group)
+
+
+def test_x_y_names_are_stable():
+    assert x_name(3, 7) == "x[3,7]"
+    assert y_name(2) == "y[2]"

@@ -1,0 +1,86 @@
+"""Synthetic CDN-footprint tests."""
+
+import pytest
+
+from repro.datasets.akamai import CDNFootprint, build_cdn_footprint, default_cdn_footprint
+from repro.datasets.electricity_maps import default_zone_catalog
+
+
+def test_default_footprint_has_496_sites():
+    assert len(default_cdn_footprint()) == 496
+
+
+def test_every_city_gets_at_least_one_site():
+    footprint = default_cdn_footprint()
+    from repro.datasets.cities import default_city_catalog
+    assert set(footprint.city_names()) == set(default_city_catalog().names())
+
+
+def test_sites_weighted_by_population():
+    footprint = default_cdn_footprint()
+    per_city = {}
+    for site in footprint:
+        per_city[site.city_name] = per_city.get(site.city_name, 0) + 1
+    assert per_city["New York"] > per_city["Kingman"]
+
+
+def test_zone_ids_resolvable():
+    zones = default_zone_catalog()
+    for site in default_cdn_footprint():
+        assert site.zone_id in zones
+
+
+def test_one_per_city_deduplicates():
+    footprint = default_cdn_footprint()
+    deduplicated = footprint.one_per_city()
+    assert len(deduplicated) == len(set(s.city_name for s in footprint))
+    assert len(deduplicated) < len(footprint)
+
+
+def test_continent_partition():
+    footprint = default_cdn_footprint()
+    us, eu = footprint.by_continent("US"), footprint.by_continent("EU")
+    assert len(us) + len(eu) == len(footprint)
+    assert len(us) > 100 and len(eu) > 100
+
+
+def test_jitter_stays_near_anchor_city():
+    footprint = default_cdn_footprint()
+    for site in footprint:
+        # 40 km max offset is well under one degree of latitude.
+        from repro.datasets.cities import default_city_catalog
+        city = default_city_catalog().get(site.city_name)
+        assert abs(site.lat - city.lat) < 1.0
+        assert abs(site.lon - city.lon) < 3.0
+
+
+def test_build_deterministic():
+    a = build_cdn_footprint(n_sites=100, seed=5)
+    b = build_cdn_footprint(n_sites=100, seed=5)
+    assert [s.site_id for s in a] == [s.site_id for s in b]
+    assert a.coordinates_array().tolist() == b.coordinates_array().tolist()
+
+
+def test_small_footprint_keeps_largest_cities():
+    footprint = build_cdn_footprint(n_sites=10)
+    assert len(footprint) == 10
+    assert "New York" in footprint.city_names()
+
+
+def test_invalid_site_count_rejected():
+    with pytest.raises(ValueError):
+        build_cdn_footprint(n_sites=0)
+
+
+def test_get_and_unknown_site():
+    footprint = default_cdn_footprint()
+    first = next(iter(footprint))
+    assert footprint.get(first.site_id) is first
+    with pytest.raises(KeyError):
+        footprint.get("nope")
+
+
+def test_duplicate_site_ids_rejected():
+    site = next(iter(default_cdn_footprint()))
+    with pytest.raises(ValueError):
+        CDNFootprint(sites=(site, site))

@@ -1,0 +1,83 @@
+"""City-catalogue tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cities import CITY_LEVEL_ZONES, City, CityCatalog, default_city_catalog
+
+
+def test_catalog_has_wondernetwork_scale_coverage():
+    catalog = default_city_catalog()
+    assert len(catalog.by_continent("US")) >= 60
+    assert len(catalog.by_continent("EU")) >= 60
+
+
+def test_all_region_cities_present():
+    catalog = default_city_catalog()
+    for name in ("Miami", "Tallahassee", "Kingman", "Flagstaff", "Bern", "Graz", "Milan",
+                 "Cagliari", "Arezzo", "Lyon", "Munich"):
+        assert name in catalog
+
+
+def test_city_level_zone_assignment():
+    catalog = default_city_catalog()
+    assert catalog.get("Miami").zone_id == "US-FL-MIA"
+    assert catalog.get("Tallahassee").zone_id == "US-FL-TAL"
+    assert catalog.get("Bern").zone_id == "EU-CH-BRN"
+
+
+def test_state_and_country_zone_assignment():
+    catalog = default_city_catalog()
+    assert catalog.get("Chicago").zone_id == "US-IL"
+    assert catalog.get("Paris").zone_id == "EU-FR"
+
+
+def test_unknown_city_raises():
+    with pytest.raises(KeyError, match="Atlantis"):
+        default_city_catalog().get("Atlantis")
+
+
+def test_duplicate_city_names_rejected():
+    c = City(name="X", country="US", continent="US", lat=0, lon=0, population_k=1, state="NY")
+    with pytest.raises(ValueError, match="duplicate"):
+        CityCatalog(cities=(c, c))
+
+
+def test_coordinates_array_alignment():
+    catalog = default_city_catalog()
+    coords = catalog.coordinates_array(["Miami", "Bern"])
+    assert coords.shape == (2, 2)
+    assert coords[0, 0] == pytest.approx(25.76, abs=0.1)
+    assert coords[1, 0] == pytest.approx(46.95, abs=0.1)
+
+
+def test_coordinates_within_valid_ranges():
+    catalog = default_city_catalog()
+    coords = catalog.coordinates_array()
+    assert np.all(coords[:, 0] >= -90) and np.all(coords[:, 0] <= 90)
+    assert np.all(coords[:, 1] >= -180) and np.all(coords[:, 1] <= 180)
+
+
+def test_populations_positive():
+    catalog = default_city_catalog()
+    assert np.all(catalog.populations() > 0)
+
+
+def test_zone_ids_resolvable_against_zone_catalog():
+    from repro.datasets.electricity_maps import default_zone_catalog
+    zones = default_zone_catalog()
+    for city in default_city_catalog():
+        assert city.zone_id in zones, f"{city.name} maps to unknown zone {city.zone_id}"
+
+
+def test_city_level_zone_cities_exist():
+    catalog = default_city_catalog()
+    for city_name in CITY_LEVEL_ZONES:
+        assert city_name in catalog
+
+
+def test_contains_and_names():
+    catalog = default_city_catalog()
+    assert "Miami" in catalog
+    assert "Nowhere" not in catalog
+    assert len(catalog.names()) == len(catalog)

@@ -1,0 +1,55 @@
+"""Mesoscale-region definition tests."""
+
+import pytest
+
+from repro.datasets.regions import (
+    ALL_REGIONS,
+    CENTRAL_EU,
+    FIGURE1_ZONES,
+    FLORIDA,
+    ITALY,
+    WEST_US,
+    region_by_name,
+)
+
+
+def test_all_regions_have_five_cities():
+    for region in ALL_REGIONS:
+        assert len(region) == 5
+
+
+def test_region_city_resolution():
+    cities = FLORIDA.cities()
+    assert [c.name for c in cities] == list(FLORIDA.city_names)
+    assert all(c.state == "FL" for c in cities)
+
+
+def test_region_zone_ids_are_city_level():
+    assert FLORIDA.zone_ids() == ["US-FL-JAX", "US-FL-MIA", "US-FL-TPA", "US-FL-ORL", "US-FL-TAL"]
+    assert CENTRAL_EU.zone_ids() == ["EU-CH-BRN", "EU-DE-MUC", "EU-FR-LYS", "EU-AT-GRZ", "EU-IT-MIL"]
+
+
+def test_central_eu_and_italy_share_milan():
+    assert "Milan" in CENTRAL_EU.city_names and "Milan" in ITALY.city_names
+
+
+def test_region_continents():
+    assert FLORIDA.continent == "US" and WEST_US.continent == "US"
+    assert ITALY.continent == "EU" and CENTRAL_EU.continent == "EU"
+
+
+def test_region_by_name_case_insensitive():
+    assert region_by_name("florida") is FLORIDA
+    assert region_by_name("Central EU") is CENTRAL_EU
+
+
+def test_region_by_name_unknown():
+    with pytest.raises(KeyError):
+        region_by_name("Mars")
+
+
+def test_figure1_zones_exist_in_zone_catalog():
+    from repro.datasets.electricity_maps import default_zone_catalog
+    zones = default_zone_catalog()
+    for zone_id in FIGURE1_ZONES:
+        assert zone_id in zones

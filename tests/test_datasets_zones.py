@@ -1,0 +1,93 @@
+"""Zone-catalogue (Electricity Maps stand-in) tests."""
+
+import pytest
+
+from repro.datasets.electricity_maps import (
+    SOURCE_INTENSITY,
+    TARGET_COUNTS,
+    ZoneCatalog,
+    ZoneSpec,
+    build_zone_catalog,
+    default_zone_catalog,
+)
+
+
+def test_catalog_has_148_zones():
+    catalog = default_zone_catalog()
+    assert len(catalog) == sum(TARGET_COUNTS.values()) == 148
+
+
+def test_continental_counts_match_paper():
+    counts = default_zone_catalog().counts_by_continent()
+    assert counts["US"] == 54
+    assert counts["EU"] == 45
+    assert counts["OTHER"] == 49
+
+
+def test_every_mix_normalises():
+    for zone in default_zone_catalog():
+        total = sum(zone.normalized_mix.values())
+        assert total == pytest.approx(1.0)
+
+
+def test_annual_mean_intensity_bounds():
+    lo, hi = min(SOURCE_INTENSITY.values()), max(SOURCE_INTENSITY.values())
+    for zone in default_zone_catalog():
+        assert lo <= zone.annual_mean_intensity <= hi
+
+
+def test_figure1_zone_ordering():
+    catalog = default_zone_catalog()
+    ontario = catalog.get("CA-ON").annual_mean_intensity
+    california = catalog.get("US-CA").annual_mean_intensity
+    poland = catalog.get("EU-PL").annual_mean_intensity
+    assert ontario < california < poland
+
+
+def test_central_eu_static_spread_matches_paper_band():
+    catalog = default_zone_catalog()
+    means = [catalog.get(z).annual_mean_intensity
+             for z in ("EU-CH-BRN", "EU-DE-MUC", "EU-FR-LYS", "EU-AT-GRZ", "EU-IT-MIL")]
+    assert 6.0 <= max(means) / min(means) <= 30.0
+
+
+def test_grouped_mix_sums_to_one():
+    for zone in default_zone_catalog():
+        assert sum(zone.grouped_mix().values()) == pytest.approx(1.0)
+
+
+def test_fossil_share_in_unit_interval():
+    for zone in default_zone_catalog():
+        assert 0.0 <= zone.fossil_share <= 1.0
+
+
+def test_tallahassee_is_smallest_paper_zone():
+    assert default_zone_catalog().get("US-FL-TAL").area_km2 == pytest.approx(123.73)
+
+
+def test_invalid_mix_rejected():
+    with pytest.raises(ValueError, match="sum to 1"):
+        ZoneSpec(zone_id="X", name="x", continent="US", mix={"gas": 0.5})
+
+
+def test_unknown_source_rejected():
+    with pytest.raises(ValueError, match="unknown sources"):
+        ZoneSpec(zone_id="X", name="x", continent="US", mix={"fusion": 1.0})
+
+
+def test_duplicate_zone_ids_rejected():
+    z = ZoneSpec(zone_id="A", name="a", continent="US", mix={"gas": 1.0})
+    with pytest.raises(ValueError, match="duplicate"):
+        ZoneCatalog(zones=(z, z))
+
+
+def test_build_is_deterministic():
+    a = build_zone_catalog(seed=0)
+    b = build_zone_catalog(seed=0)
+    assert a.ids() == b.ids()
+    assert all(a.get(i).mix == b.get(i).mix for i in a.ids())
+
+
+def test_unknown_zone_lookup():
+    with pytest.raises(KeyError):
+        default_zone_catalog().get("ZZ-NOWHERE")

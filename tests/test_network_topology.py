@@ -1,0 +1,50 @@
+"""Site-topology tests."""
+
+import pytest
+
+from repro.network.topology import build_site_topology
+
+
+def test_topology_is_complete_graph(central_eu_latency):
+    topology = build_site_topology(central_eu_latency)
+    assert topology.n_sites == 5
+    assert topology.graph.number_of_edges() == 10
+    assert topology.is_connected()
+    assert topology.average_degree() == pytest.approx(4.0)
+
+
+def test_topology_latency_matches_matrix(central_eu_latency):
+    topology = build_site_topology(central_eu_latency)
+    assert topology.latency_ms("Bern", "Munich") == pytest.approx(
+        central_eu_latency.one_way_ms("Bern", "Munich"))
+    assert topology.latency_ms("Bern", "Bern") == 0.0
+
+
+def test_topology_zone_attributes(central_eu_latency, city_catalog):
+    zones = {name: city_catalog.get(name).zone_id for name in central_eu_latency.names}
+    topology = build_site_topology(central_eu_latency, zone_by_site=zones)
+    assert topology.graph.nodes["Bern"]["zone_id"] == "EU-CH-BRN"
+
+
+def test_neighbors_within_budget(central_eu_latency):
+    topology = build_site_topology(central_eu_latency)
+    tight = topology.neighbors_within("Graz", 5.0)
+    loose = topology.neighbors_within("Graz", 50.0)
+    assert set(tight) <= set(loose)
+    assert len(loose) == 4
+
+
+def test_restricted_topology_can_disconnect(central_eu_latency):
+    topology = build_site_topology(central_eu_latency)
+    restricted = topology.restricted(0.5)
+    assert restricted.graph.number_of_edges() == 0
+    assert len(restricted.connected_components()) == 5
+    assert not restricted.is_connected()
+
+
+def test_missing_edge_and_site_raise(central_eu_latency):
+    topology = build_site_topology(central_eu_latency).restricted(0.5)
+    with pytest.raises(KeyError):
+        topology.latency_ms("Bern", "Munich")
+    with pytest.raises(KeyError):
+        topology.neighbors_within("Atlantis", 10.0)

@@ -1,0 +1,50 @@
+"""Time-varying latency trace tests."""
+
+import numpy as np
+import pytest
+
+from repro.network.traces import LatencyTrace, generate_latency_trace
+
+
+def test_generated_trace_centred_on_mean():
+    trace = generate_latency_trace(("A", "B"), mean_one_way_ms=8.0, n_samples=2000, seed=1)
+    assert trace.mean() == pytest.approx(8.0, rel=0.1)
+    assert trace.percentile(99) < 8.0 * 2.0
+
+
+def test_generated_trace_deterministic():
+    a = generate_latency_trace(("A", "B"), 5.0, 100, seed=2)
+    b = generate_latency_trace(("A", "B"), 5.0, 100, seed=2)
+    assert np.array_equal(a.samples_ms, b.samples_ms)
+
+
+def test_different_pairs_differ():
+    a = generate_latency_trace(("A", "B"), 5.0, 100, seed=2)
+    b = generate_latency_trace(("A", "C"), 5.0, 100, seed=2)
+    assert not np.array_equal(a.samples_ms, b.samples_ms)
+
+
+def test_zero_mean_gives_zero_samples():
+    trace = generate_latency_trace(("A", "A"), 0.0, 10, seed=0)
+    assert np.all(trace.samples_ms == 0.0)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        generate_latency_trace(("A", "B"), -1.0, 10)
+    with pytest.raises(ValueError):
+        generate_latency_trace(("A", "B"), 1.0, 0)
+
+
+def test_trace_validation():
+    with pytest.raises(ValueError):
+        LatencyTrace(pair=("A", "B"), mean_ms=1.0, samples_ms=np.array([]))
+    with pytest.raises(ValueError):
+        LatencyTrace(pair=("A", "B"), mean_ms=1.0, samples_ms=np.array([-1.0]))
+
+
+def test_trace_stats():
+    trace = LatencyTrace(pair=("A", "B"), mean_ms=2.0, samples_ms=np.array([1.0, 2.0, 3.0]))
+    assert len(trace) == 3
+    assert trace.max() == 3.0
+    assert trace.percentile(50) == 2.0

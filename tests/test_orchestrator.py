@@ -1,0 +1,114 @@
+"""Orchestrator substrate tests (recipes, deployments, cluster state, rollout)."""
+
+import pytest
+
+from repro.cluster.server import EdgeServer
+from repro.core.incremental import IncrementalPlacer
+from repro.core.policies import CarbonEdgePolicy
+from repro.orchestrator.cluster_state import ClusterState
+from repro.orchestrator.deployment import Deployment, DeploymentState
+from repro.orchestrator.orchestrator import EdgeOrchestrator
+from repro.orchestrator.profiling import ProfilingService
+from repro.orchestrator.recipes import recipe_for_application
+from repro.workloads.application import make_application
+from tests.conftest import make_apps
+
+
+@pytest.fixture
+def a2_server():
+    s = EdgeServer(server_id="s", site="Miami", zone_id="US-FL-MIA")
+    s.power_on()
+    return s
+
+
+def test_recipe_from_application(a2_server):
+    app = make_application("a", "ResNet50", "Miami", request_rate_rps=10)
+    recipe = recipe_for_application(app, a2_server)
+    assert recipe.app_id == "a"
+    assert recipe.replicas == 1
+    assert recipe.device == "NVIDIA A2"
+    assert "resnet50" in recipe.image
+    assert dict(recipe.env)["CARBON_ZONE"] == "US-FL-MIA"
+
+
+def test_recipe_replica_scaling(a2_server):
+    heavy = make_application("a", "ResNet50", "Miami", request_rate_rps=300)
+    recipe = recipe_for_application(heavy, a2_server)
+    assert recipe.replicas == 3
+    assert recipe.total_resources["gpu_memory_mb"] == pytest.approx(
+        3 * recipe.resources["gpu_memory_mb"])
+    assert recipe.with_replicas(5).replicas == 5
+
+
+def test_deployment_lifecycle(a2_server):
+    recipe = recipe_for_application(make_application("a", "Sci", "Miami"), a2_server)
+    deployment = Deployment(deployment_id="d", recipe=recipe, server_id="s", site="Miami")
+    deployment.transition(DeploymentState.DEPLOYING)
+    deployment.transition(DeploymentState.RUNNING, at_s=5.0)
+    assert deployment.is_active and deployment.started_at_s == 5.0
+    deployment.transition(DeploymentState.TERMINATED, at_s=9.0)
+    assert not deployment.is_active
+    with pytest.raises(ValueError):
+        deployment.transition(DeploymentState.RUNNING)
+
+
+def test_deployment_illegal_transition(a2_server):
+    recipe = recipe_for_application(make_application("a", "Sci", "Miami"), a2_server)
+    deployment = Deployment(deployment_id="d", recipe=recipe, server_id="s", site="Miami")
+    with pytest.raises(ValueError):
+        deployment.transition(DeploymentState.TERMINATED)
+
+
+def test_profiling_service_lookup_and_refinement():
+    service = ProfilingService(smoothing=0.5)
+    base = service.profile("ResNet50", "NVIDIA A2")
+    updated = service.record_measurement("ResNet50", "NVIDIA A2", energy_per_request_j=base.energy_per_request_j * 2)
+    assert updated.energy_per_request_j == pytest.approx(base.energy_per_request_j * 1.5)
+    assert service.profile("ResNet50", "NVIDIA A2").energy_per_request_j == pytest.approx(
+        updated.energy_per_request_j)
+    with pytest.raises(ValueError):
+        service.record_measurement("ResNet50", "NVIDIA A2", energy_per_request_j=-1.0)
+    with pytest.raises(ValueError):
+        ProfilingService(smoothing=2.0)
+
+
+def test_orchestrator_deploys_and_binds(central_eu_fleet, central_eu_latency, central_eu_carbon):
+    placer = IncrementalPlacer(fleet=central_eu_fleet, latency=central_eu_latency,
+                               carbon=central_eu_carbon, policy=CarbonEdgePolicy())
+    orchestrator = EdgeOrchestrator(placer=placer)
+    apps = make_apps(central_eu_fleet.sites())
+    deployments = orchestrator.deploy_batch(apps, hour=0)
+    assert len(deployments) == len(apps)
+    assert all(d.state is DeploymentState.RUNNING for d in deployments)
+    assert len(orchestrator.running_deployments()) == len(apps)
+    binding = orchestrator.binding_for(apps[0].app_id)
+    assert binding.endpoint.startswith("http://")
+    assert sum(orchestrator.deployments_per_site().values()) == len(apps)
+
+
+def test_orchestrator_terminate_releases_allocation(central_eu_fleet, central_eu_latency,
+                                                    central_eu_carbon):
+    placer = IncrementalPlacer(fleet=central_eu_fleet, latency=central_eu_latency,
+                               carbon=central_eu_carbon, policy=CarbonEdgePolicy())
+    orchestrator = EdgeOrchestrator(placer=placer)
+    apps = make_apps(central_eu_fleet.sites()[:1])
+    orchestrator.deploy_batch(apps, hour=0)
+    app_id = apps[0].app_id
+    server = central_eu_fleet.server(orchestrator.binding_for(app_id).server_id)
+    assert app_id in server.allocations
+    orchestrator.terminate(app_id)
+    assert app_id not in server.allocations
+    with pytest.raises(KeyError):
+        orchestrator.binding_for(app_id)
+    with pytest.raises(KeyError):
+        orchestrator.terminate("ghost")
+
+
+def test_cluster_state_snapshot(central_eu_fleet, central_eu_carbon):
+    state = ClusterState(fleet=central_eu_fleet, carbon=central_eu_carbon)
+    snapshots = state.snapshot(hour=0)
+    assert len(snapshots) == len(central_eu_fleet.servers())
+    assert all(s.carbon_intensity > 0 for s in snapshots)
+    assert state.powered_on_count() == len(central_eu_fleet.servers())
+    assert state.total_base_power_w() > 0
+    assert set(state.site_utilization()) == set(central_eu_fleet.sites())

@@ -1,0 +1,93 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.simulator.engine import SimulationEngine
+from repro.simulator.events import Event, EventQueue
+
+
+def test_event_validation_and_ordering():
+    with pytest.raises(ValueError):
+        Event(time_s=-1.0)
+    queue = EventQueue()
+    queue.schedule(5.0, kind="b")
+    queue.schedule(1.0, kind="a")
+    queue.schedule(5.0, kind="c", priority=-1)
+    assert queue.pop().kind == "a"
+    assert queue.pop().kind == "c"  # same time, higher priority (lower value) first
+    assert queue.pop().kind == "b"
+
+
+def test_queue_fifo_for_equal_keys():
+    queue = EventQueue()
+    queue.schedule(1.0, kind="first")
+    queue.schedule(1.0, kind="second")
+    assert queue.pop().kind == "first"
+    assert queue.pop().kind == "second"
+
+
+def test_queue_empty_behaviour():
+    queue = EventQueue()
+    assert queue.empty and len(queue) == 0
+    with pytest.raises(IndexError):
+        queue.pop()
+    with pytest.raises(IndexError):
+        queue.peek()
+
+
+def test_engine_dispatches_handlers_in_order():
+    engine = SimulationEngine()
+    seen = []
+    engine.register_handler("tick", lambda e: seen.append(e.time_s))
+    engine.schedule(3.0, kind="tick")
+    engine.schedule(1.0, kind="tick")
+    engine.schedule(2.0, kind="tick")
+    processed = engine.run()
+    assert processed == 3
+    assert seen == [1.0, 2.0, 3.0]
+    assert engine.clock.now_seconds == 3.0
+    assert engine.events_processed == 3
+
+
+def test_engine_event_specific_handler_takes_precedence():
+    engine = SimulationEngine()
+    seen = []
+    engine.register_handler("tick", lambda e: seen.append("kind"))
+    engine.schedule(1.0, kind="tick", handler=lambda e: seen.append("specific"))
+    engine.run()
+    assert seen == ["specific"]
+
+
+def test_engine_run_until_and_max_events():
+    engine = SimulationEngine()
+    for t in (1.0, 2.0, 3.0, 4.0):
+        engine.schedule(t, kind="tick")
+    assert engine.run(until_s=2.5) == 2
+    assert engine.clock.now_seconds == 2.5
+    assert engine.run(max_events=1) == 1
+    assert len(engine.queue) == 1
+
+
+def test_engine_cascading_events():
+    engine = SimulationEngine()
+    seen = []
+
+    def spawn(event):
+        seen.append(event.time_s)
+        if len(seen) < 4:
+            engine.schedule(1.0, kind="spawn")
+
+    engine.register_handler("spawn", spawn)
+    engine.schedule(0.0, kind="spawn")
+    engine.run()
+    assert seen == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_engine_rejects_scheduling_in_the_past():
+    engine = SimulationEngine()
+    engine.schedule(1.0, kind="tick")
+    engine.run()
+    with pytest.raises(ValueError):
+        engine.schedule_at(0.5, kind="late")
+    with pytest.raises(ValueError):
+        engine.schedule(-1.0, kind="late")

@@ -1,0 +1,102 @@
+"""MILP model-builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.solver.milp import MILPModel, Variable, VariableKind
+
+
+def _knapsack_model():
+    """max 3a + 4b s.t. 2a + 3b <= 4  (as a minimisation of the negated objective)."""
+    model = MILPModel(name="knapsack")
+    model.add_binary("a")
+    model.add_binary("b")
+    model.add_constraint("cap", {"a": 2.0, "b": 3.0}, rhs=4.0)
+    model.set_objective({"a": -3.0, "b": -4.0})
+    return model
+
+
+def test_variable_bounds_validation():
+    with pytest.raises(ValueError):
+        Variable(name="x", lower=2.0, upper=1.0)
+    with pytest.raises(ValueError):
+        Variable(name="x", kind=VariableKind.BINARY, lower=-1.0, upper=1.0)
+
+
+def test_duplicate_variable_rejected():
+    model = MILPModel()
+    model.add_variable("x")
+    with pytest.raises(ValueError):
+        model.add_variable("x")
+
+
+def test_constraint_unknown_variable_rejected():
+    model = MILPModel()
+    model.add_variable("x")
+    with pytest.raises(KeyError):
+        model.add_constraint("c", {"y": 1.0}, rhs=1.0)
+    with pytest.raises(ValueError):
+        model.add_constraint("c", {}, rhs=1.0)
+
+
+def test_objective_unknown_variable_rejected():
+    model = MILPModel()
+    with pytest.raises(KeyError):
+        model.set_objective({"x": 1.0})
+    with pytest.raises(KeyError):
+        model.add_objective_term("x", 1.0)
+
+
+def test_add_objective_term_accumulates():
+    model = MILPModel()
+    model.add_variable("x")
+    model.add_objective_term("x", 1.5)
+    model.add_objective_term("x", 0.5)
+    assert model.objective["x"] == 2.0
+
+
+def test_counts_and_binary_names():
+    model = _knapsack_model()
+    assert model.n_variables == 2
+    assert model.n_constraints == 1
+    assert model.binary_names() == ["a", "b"]
+
+
+def test_to_dense_shapes():
+    model = _knapsack_model()
+    model.add_constraint("eq", {"a": 1.0, "b": 1.0}, rhs=1.0, equality=True)
+    dense = model.to_dense()
+    assert dense["c"].shape == (2,)
+    assert dense["A_ub"].shape == (1, 2)
+    assert dense["A_eq"].shape == (1, 2)
+    assert dense["bounds"].shape == (2, 2)
+    assert dense["names"] == ["a", "b"]
+
+
+def test_to_dense_without_constraints():
+    model = MILPModel()
+    model.add_variable("x")
+    model.set_objective({"x": 1.0})
+    dense = model.to_dense()
+    assert dense["A_ub"] is None and dense["A_eq"] is None
+
+
+def test_objective_value_and_constant():
+    model = _knapsack_model()
+    model.objective_constant = 10.0
+    assert model.objective_value({"a": 1.0, "b": 0.0}) == pytest.approx(7.0)
+
+
+def test_feasibility_checking():
+    model = _knapsack_model()
+    assert model.is_feasible({"a": 1.0, "b": 0.0})
+    assert not model.is_feasible({"a": 1.0, "b": 1.0})  # 2 + 3 > 4
+    violations = model.constraint_violations({"a": 1.0, "b": 1.0})
+    assert violations == ["cap"]
+
+
+def test_bound_violations_reported():
+    model = MILPModel()
+    model.add_binary("x")
+    violations = model.constraint_violations({"x": 2.0})
+    assert violations == ["bound:x"]

@@ -1,0 +1,78 @@
+"""LP rounding / repair tests."""
+
+import pytest
+
+from repro.solver.milp import MILPModel
+from repro.solver.result import SolveResult, SolveStatus
+from repro.solver.rounding import fractional_binaries, integrality_gap, round_and_repair
+
+
+def _assignment_model():
+    """Two apps, two servers, each server holds one app (capacity 1)."""
+    model = MILPModel()
+    for i in range(2):
+        for j in range(2):
+            model.add_binary(f"x[{i},{j}]")
+    for j in range(2):
+        model.add_binary(f"y[{j}]", lower=1.0)
+    for i in range(2):
+        model.add_constraint(f"assign[{i}]", {f"x[{i},0]": 1.0, f"x[{i},1]": 1.0},
+                             rhs=1.0, equality=True)
+    for j in range(2):
+        model.add_constraint(f"cap[{j}]", {f"x[0,{j}]": 1.0, f"x[1,{j}]": 1.0,
+                                           f"y[{j}]": -1.0}, rhs=0.0)
+    model.set_objective({f"x[{i},{j}]": 1.0 + i + j for i in range(2) for j in range(2)})
+    return model
+
+
+def test_round_and_repair_respects_groups_and_capacity():
+    model = _assignment_model()
+    fractional = {"x[0,0]": 0.5, "x[0,1]": 0.5, "x[1,0]": 0.5, "x[1,1]": 0.5,
+                  "y[0]": 1.0, "y[1]": 1.0}
+    groups = [["x[0,0]", "x[0,1]"], ["x[1,0]", "x[1,1]"]]
+    result = round_and_repair(model, fractional, groups=groups)
+    assert result.status is SolveStatus.FEASIBLE
+    assert model.is_feasible(result.values)
+    # Exactly one server per app, and not both on the same server.
+    assert result.value("x[0,0]") + result.value("x[0,1]") == pytest.approx(1.0)
+    assert result.value("x[1,0]") + result.value("x[1,1]") == pytest.approx(1.0)
+    assert result.value("x[0,0]") + result.value("x[1,0]") <= 1.0 + 1e-9
+
+
+def test_round_and_repair_reports_infeasible_group():
+    model = MILPModel()
+    model.add_binary("x")
+    model.add_constraint("never", {"x": 1.0}, rhs=-1.0)
+    model.set_objective({"x": 1.0})
+    result = round_and_repair(model, {"x": 0.9}, groups=[["x"]])
+    assert result.status is SolveStatus.INFEASIBLE
+
+
+def test_round_and_repair_keeps_continuous_values():
+    model = MILPModel()
+    model.add_variable("c", lower=0.0, upper=10.0)
+    model.add_binary("b")
+    model.set_objective({"c": 1.0, "b": 1.0})
+    result = round_and_repair(model, {"c": 2.5, "b": 0.7})
+    assert result.value("c") == pytest.approx(2.5)
+    assert result.value("b") in (0.0, 1.0)
+
+
+def test_fractional_binaries_ordering():
+    values = {"a": 0.5, "b": 0.9, "c": 1.0}
+    ranked = fractional_binaries(values, ["a", "b", "c"])
+    assert ranked == ["a", "b"]  # most fractional first, integral dropped
+
+
+def test_integrality_gap():
+    assert integrality_gap({"a": 1.0, "b": 0.3}, ["a", "b"]) == pytest.approx(0.3)
+    assert integrality_gap({}, []) == 0.0
+
+
+def test_solve_result_helpers():
+    result = SolveResult(status=SolveStatus.OPTIMAL, objective=1.0, values={"x": 0.9})
+    assert result.has_solution
+    assert result.binary_value("x")
+    assert not result.binary_value("missing")
+    assert SolveResult(status=SolveStatus.INFEASIBLE).has_solution is False
+    assert SolveStatus.FEASIBLE.has_solution and not SolveStatus.ERROR.has_solution

@@ -1,0 +1,116 @@
+"""Telemetry substrate tests (metrics, power, carbon, latency monitors)."""
+
+import numpy as np
+import pytest
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import TraceSet
+from repro.cluster.server import EdgeServer
+from repro.telemetry.carbon_monitor import CarbonMonitor
+from repro.telemetry.latency_monitor import LatencyMonitor
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.power_monitor import PowerMonitor
+
+
+@pytest.fixture
+def server():
+    s = EdgeServer(server_id="s1", site="Miami", zone_id="US-FL-MIA")
+    s.power_on()
+    return s
+
+
+def test_counter_gauge_histogram():
+    registry = MetricRegistry()
+    counter = registry.counter("requests_total", {"site": "Miami"})
+    counter.inc()
+    counter.inc(2)
+    assert counter.value == 3
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    gauge = registry.gauge("utilization")
+    gauge.set(0.4)
+    gauge.add(0.1)
+    assert gauge.value == pytest.approx(0.5)
+    hist = registry.histogram("latency_ms")
+    for v in (1.0, 2.0, 3.0):
+        hist.observe(v)
+    assert hist.count == 3
+    assert hist.mean() == pytest.approx(2.0)
+    assert hist.percentile(50) == pytest.approx(2.0)
+
+
+def test_registry_reuses_and_distinguishes_labels():
+    registry = MetricRegistry()
+    a = registry.counter("x", {"site": "A"})
+    b = registry.counter("x", {"site": "A"})
+    c = registry.counter("x", {"site": "B"})
+    assert a is b and a is not c
+
+
+def test_registry_collect_rendering():
+    registry = MetricRegistry()
+    registry.counter("hits", {"site": "Miami"}).inc(5)
+    registry.histogram("lat").observe(2.0)
+    snapshot = registry.collect()
+    assert snapshot["hits{site=Miami}"] == 5
+    assert snapshot["lat_count"] == 1.0
+    assert snapshot["lat_sum"] == 2.0
+
+
+def test_power_monitor_integrates_energy(server):
+    monitor = PowerMonitor()
+    sample = monitor.record_interval(server, start_s=0.0, duration_s=3600.0, utilization=0.5)
+    assert sample.base_energy_j == pytest.approx(server.base_power_w * 3600.0)
+    assert sample.dynamic_energy_j > 0.0
+    assert monitor.total_energy_j("s1") == pytest.approx(sample.total_energy_j)
+    assert monitor.base_energy_j() + monitor.dynamic_energy_j() == pytest.approx(
+        monitor.total_energy_j())
+
+
+def test_power_monitor_off_server_consumes_nothing(server):
+    server.power_off()
+    monitor = PowerMonitor()
+    sample = monitor.record_interval(server, 0.0, 100.0, 0.0)
+    assert sample.total_energy_j == 0.0
+
+
+def test_power_monitor_validation(server):
+    monitor = PowerMonitor()
+    with pytest.raises(ValueError):
+        monitor.record_interval(server, 0.0, -1.0, 0.5)
+    with pytest.raises(ValueError):
+        monitor.record_interval(server, 0.0, 1.0, 1.5)
+
+
+def test_carbon_monitor_accounts_emissions(server):
+    traces = TraceSet.from_mapping({"US-FL-MIA": np.full(24, 500.0)})
+    carbon = CarbonMonitor(carbon=CarbonIntensityService(traces=traces))
+    power = PowerMonitor()
+    sample = power.record_interval(server, 0.0, 3600.0, 1.0)
+    record = carbon.record(sample, zone_id="US-FL-MIA", hour=0)
+    expected = sample.total_energy_j / 3.6e6 * 500.0
+    assert record.total_carbon_g == pytest.approx(expected)
+    assert carbon.total_carbon_g() == pytest.approx(expected)
+    assert carbon.base_carbon_g() + carbon.dynamic_carbon_g() == pytest.approx(expected)
+    assert carbon.carbon_by_server()["s1"] == pytest.approx(expected)
+
+
+def test_latency_monitor_stats():
+    monitor = LatencyMonitor()
+    for v in (10.0, 20.0, 30.0):
+        monitor.record_response("app1", "Miami", v)
+    monitor.record_response("app2", "Tampa", 100.0)
+    assert monitor.mean_response_ms("app1") == pytest.approx(20.0)
+    assert monitor.mean_response_ms(site="Tampa") == pytest.approx(100.0)
+    assert monitor.mean_response_ms() == pytest.approx(40.0)
+    assert monitor.percentile_response_ms(50, "app1") == pytest.approx(20.0)
+    assert monitor.request_count() == 4
+    assert monitor.request_count("app1") == 3
+    with pytest.raises(ValueError):
+        monitor.record_response("a", "b", -1.0)
+
+
+def test_latency_monitor_empty():
+    monitor = LatencyMonitor()
+    assert monitor.mean_response_ms() == 0.0
+    assert monitor.percentile_response_ms(99) == 0.0

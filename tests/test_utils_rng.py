@@ -1,0 +1,42 @@
+"""Deterministic RNG substream tests."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import spawn_seed, substream
+
+
+def test_same_names_same_stream():
+    a = substream(1, "carbon", "US-CA").standard_normal(8)
+    b = substream(1, "carbon", "US-CA").standard_normal(8)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_different_streams():
+    a = substream(1, "carbon", "US-CA").standard_normal(8)
+    b = substream(1, "carbon", "US-NY").standard_normal(8)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_different_streams():
+    a = substream(1, "x").standard_normal(8)
+    b = substream(2, "x").standard_normal(8)
+    assert not np.array_equal(a, b)
+
+
+def test_name_order_matters():
+    assert spawn_seed(0, "a", "b") != spawn_seed(0, "b", "a")
+
+
+def test_numeric_and_string_names_distinct():
+    assert spawn_seed(0, 1, 2) != spawn_seed(0, 12)
+
+
+def test_spawn_seed_is_64bit_unsigned():
+    s = spawn_seed(123, "anything")
+    assert 0 <= s < 2**64
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+def test_spawn_seed_deterministic_property(seed, name):
+    assert spawn_seed(seed, name) == spawn_seed(seed, name)

@@ -1,0 +1,101 @@
+"""Simulation-calendar tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.timeutils import (
+    MONTH_NAMES,
+    MONTH_START_HOURS,
+    SimClock,
+    day_of_year,
+    hour_of_day,
+    hours_in_month,
+    month_of_hour,
+    month_slice,
+)
+
+
+def test_month_start_hours_cover_the_year():
+    assert MONTH_START_HOURS[0] == 0
+    assert MONTH_START_HOURS[-1] == 8760
+    assert len(MONTH_START_HOURS) == 13
+
+
+def test_hour_of_day_wraps():
+    assert hour_of_day(0) == 0
+    assert hour_of_day(23) == 23
+    assert hour_of_day(24) == 0
+    assert hour_of_day(49) == 1
+
+
+def test_day_of_year():
+    assert day_of_year(0) == 0
+    assert day_of_year(23) == 0
+    assert day_of_year(24) == 1
+
+
+def test_hour_of_day_vectorised():
+    hours = np.arange(48)
+    assert np.array_equal(hour_of_day(hours), np.concatenate([np.arange(24), np.arange(24)]))
+
+
+def test_month_of_hour_boundaries():
+    assert month_of_hour(0) == 1
+    assert month_of_hour(31 * 24 - 1) == 1
+    assert month_of_hour(31 * 24) == 2
+    assert month_of_hour(8759) == 12
+
+
+def test_hours_in_month_february():
+    assert hours_in_month(2) == 28 * 24
+
+
+def test_hours_in_month_rejects_invalid():
+    with pytest.raises(ValueError):
+        hours_in_month(0)
+    with pytest.raises(ValueError):
+        hours_in_month(13)
+
+
+def test_month_slice_lengths_sum_to_year():
+    total = sum(month_slice(m).stop - month_slice(m).start for m in range(1, 13))
+    assert total == 8760
+
+
+def test_month_names():
+    assert len(MONTH_NAMES) == 12
+    assert MONTH_NAMES[0] == "Jan" and MONTH_NAMES[-1] == "Dec"
+
+
+def test_clock_advance():
+    clock = SimClock()
+    clock.advance(3600.0)
+    assert clock.now_seconds == 3600.0
+    assert clock.hour_of_year == 1
+
+
+def test_clock_advance_negative_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+def test_clock_advance_to_monotonic():
+    clock = SimClock()
+    clock.advance_to(100.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(50.0)
+
+
+def test_clock_start_offset_and_reset():
+    clock = SimClock(start_hour_of_year=100)
+    assert clock.hour_of_year == 100
+    clock.advance(2 * 3600.0)
+    assert clock.hour_of_year == 102
+    clock.reset()
+    assert clock.now_seconds == 0.0
+
+
+def test_clock_hour_of_day():
+    clock = SimClock(start_hour_of_year=25)
+    assert clock.hour_of_day == 1

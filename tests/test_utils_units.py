@@ -1,0 +1,55 @@
+"""Unit-conversion tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import units
+
+
+def test_joules_to_kwh_known_value():
+    assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+
+
+def test_kwh_to_joules_known_value():
+    assert units.kwh_to_joules(2.0) == pytest.approx(7.2e6)
+
+
+def test_joules_kwh_roundtrip_array():
+    values = np.array([0.0, 1.0, 3.6e6, 1e9])
+    back = units.kwh_to_joules(units.joules_to_kwh(values))
+    assert np.allclose(back, values)
+
+
+@given(st.floats(min_value=0.0, max_value=1e15, allow_nan=False))
+def test_joules_kwh_roundtrip_property(joules):
+    assert units.kwh_to_joules(units.joules_to_kwh(joules)) == pytest.approx(joules, rel=1e-12)
+
+
+def test_watts_to_kw():
+    assert units.watts_to_kw(1500.0) == pytest.approx(1.5)
+
+
+def test_grams_tonnes_roundtrip():
+    assert units.tonnes_to_grams(units.grams_to_tonnes(123456.0)) == pytest.approx(123456.0)
+
+
+def test_ms_seconds_roundtrip():
+    assert units.seconds_to_ms(units.ms_to_seconds(250.0)) == pytest.approx(250.0)
+
+
+def test_km_m_roundtrip():
+    assert units.m_to_km(units.km_to_m(12.5)) == pytest.approx(12.5)
+
+
+def test_energy_to_emissions_zero_intensity():
+    assert units.energy_to_emissions(1e6, 0.0) == 0.0
+
+
+def test_energy_to_emissions_scaling():
+    # 1 kWh at 500 g/kWh = 500 g.
+    assert units.energy_to_emissions(3.6e6, 500.0) == pytest.approx(500.0)
+
+
+def test_hours_per_year_constant():
+    assert units.HOURS_PER_YEAR == 8760

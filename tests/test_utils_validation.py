@@ -1,0 +1,51 @@
+"""Validation-helper tests."""
+
+import pytest
+
+from repro.utils.validation import (
+    require,
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_probability,
+    require_type,
+)
+
+
+def test_require_passes_and_fails():
+    require(True, "never raised")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_positive():
+    assert require_positive(2, "x") == 2.0
+    with pytest.raises(ValueError):
+        require_positive(0, "x")
+    with pytest.raises(ValueError):
+        require_positive(-1, "x")
+
+
+def test_require_non_negative():
+    assert require_non_negative(0, "x") == 0.0
+    with pytest.raises(ValueError):
+        require_non_negative(-0.1, "x")
+
+
+def test_require_in_range_inclusive():
+    assert require_in_range(5, 5, 10, "x") == 5.0
+    assert require_in_range(10, 5, 10, "x") == 10.0
+    with pytest.raises(ValueError):
+        require_in_range(10.01, 5, 10, "x")
+
+
+def test_require_probability():
+    assert require_probability(0.5, "p") == 0.5
+    with pytest.raises(ValueError):
+        require_probability(1.5, "p")
+
+
+def test_require_type():
+    assert require_type("abc", str, "s") == "abc"
+    with pytest.raises(TypeError):
+        require_type("abc", int, "s")

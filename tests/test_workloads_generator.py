@@ -1,0 +1,83 @@
+"""Application arrival-generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.generator import ApplicationGenerator
+
+
+SITES = ["Miami", "Tampa", "Orlando"]
+
+
+def test_batch_determinism():
+    gen = ApplicationGenerator(sites=SITES, seed=1)
+    a = gen.generate_batch(3, 100)
+    b = gen.generate_batch(3, 100)
+    assert [x.app_id for x in a.applications] == [x.app_id for x in b.applications]
+    assert [x.source_site for x in a.applications] == [x.source_site for x in b.applications]
+
+
+def test_different_intervals_differ():
+    gen = ApplicationGenerator(sites=SITES, seed=1, mean_arrivals_per_batch=20)
+    a = gen.generate_batch(0, 0)
+    b = gen.generate_batch(1, 1)
+    assert [x.source_site for x in a.applications] != [x.source_site for x in b.applications]
+
+
+def test_fixed_arrival_count():
+    gen = ApplicationGenerator(sites=SITES, seed=1)
+    batch = gen.generate_batch(0, 0, n_arrivals=7)
+    assert len(batch) == 7
+
+
+def test_poisson_mean_roughly_respected():
+    gen = ApplicationGenerator(sites=SITES, seed=1, mean_arrivals_per_batch=30)
+    counts = [len(gen.generate_batch(i, i)) for i in range(50)]
+    assert 20 <= np.mean(counts) <= 40
+
+
+def test_site_weights_bias_sources():
+    gen = ApplicationGenerator(sites=SITES, site_weights=[0.9, 0.05, 0.05], seed=1,
+                               mean_arrivals_per_batch=100)
+    batch = gen.generate_batch(0, 0, n_arrivals=200)
+    sources = [a.source_site for a in batch.applications]
+    assert sources.count("Miami") > 100
+
+
+def test_workload_mix_respected():
+    gen = ApplicationGenerator(sites=SITES, workload_mix={"ResNet50": 0.5, "YOLOv4": 0.5},
+                               seed=1)
+    batch = gen.generate_batch(0, 0, n_arrivals=100)
+    workloads = {a.workload for a in batch.applications}
+    assert workloads == {"ResNet50", "YOLOv4"}
+
+
+def test_application_parameters_propagate():
+    gen = ApplicationGenerator(sites=SITES, latency_slo_ms=15.0, request_rate_rps=7.0,
+                               duration_hours=3.0, seed=1)
+    app = gen.generate_batch(0, 0, n_arrivals=1).applications[0]
+    assert app.latency_slo_ms == 15.0
+    assert app.request_rate_rps == 7.0
+    assert app.duration_hours == 3.0
+
+
+def test_schedule_generation():
+    gen = ApplicationGenerator(sites=SITES, seed=1)
+    schedule = gen.generate_schedule(n_batches=5, start_hour=10, hours_per_batch=2)
+    assert len(schedule) == 5
+    assert [b.hour_of_year for b in schedule] == [10, 12, 14, 16, 18]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        ApplicationGenerator(sites=[])
+    with pytest.raises(ValueError):
+        ApplicationGenerator(sites=SITES, site_weights=[1.0])
+    with pytest.raises(ValueError):
+        ApplicationGenerator(sites=SITES, site_weights=[-1, 1, 1])
+    with pytest.raises(ValueError):
+        ApplicationGenerator(sites=SITES, workload_mix={})
+    with pytest.raises(ValueError):
+        ApplicationGenerator(sites=SITES, mean_arrivals_per_batch=0)
+    with pytest.raises(ValueError):
+        ApplicationGenerator(sites=SITES).generate_schedule(0)

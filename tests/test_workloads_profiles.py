@@ -1,0 +1,88 @@
+"""Workload-profile tests (Figure 7 calibration)."""
+
+import pytest
+
+from repro.workloads.profiles import (
+    CPU_APP_NAME,
+    DEVICE_NAMES,
+    MODEL_NAMES,
+    PROFILE_TABLE,
+    WorkloadProfile,
+    energy_spread_across_devices,
+    energy_spread_across_models,
+    get_profile,
+    profiles_for_model,
+)
+
+
+def test_table_covers_all_model_device_pairs():
+    for model in MODEL_NAMES:
+        for device in DEVICE_NAMES:
+            assert (model, device) in PROFILE_TABLE
+
+
+def test_cpu_app_profile_exists():
+    profile = get_profile(CPU_APP_NAME, "Xeon E5-2660v3")
+    assert profile.gpu_memory_mb == 0.0
+    assert profile.cpu_cores >= 1.0
+
+
+def test_unknown_lookup_raises():
+    with pytest.raises(KeyError):
+        get_profile("BERT", "NVIDIA A2")
+    with pytest.raises(KeyError):
+        profiles_for_model("BERT")
+
+
+def test_energy_spread_across_models_near_45x():
+    for device in DEVICE_NAMES:
+        assert 20.0 <= energy_spread_across_models(device) <= 70.0
+
+
+def test_energy_spread_across_devices_near_2x():
+    for model in MODEL_NAMES:
+        assert 1.5 <= energy_spread_across_devices(model) <= 4.0
+
+
+def test_orin_nano_most_efficient_gtx_fastest():
+    for model in MODEL_NAMES:
+        profiles = profiles_for_model(model)
+        assert min(profiles.values(), key=lambda p: p.energy_per_request_j).device == "Orin Nano"
+        assert min(profiles.values(), key=lambda p: p.latency_ms).device == "GTX 1080"
+
+
+def test_memory_grows_with_model_size():
+    for device in DEVICE_NAMES:
+        assert (get_profile("EfficientNetB0", device).gpu_memory_mb
+                < get_profile("ResNet50", device).gpu_memory_mb
+                < get_profile("YOLOv4", device).gpu_memory_mb)
+
+
+def test_inference_times_in_figure7_band():
+    for (model, device), profile in PROFILE_TABLE.items():
+        if device == "Xeon E5-2660v3":
+            continue
+        assert 1.0 <= profile.latency_ms <= 40.0, (model, device)
+
+
+def test_max_request_rate_and_hourly_energy():
+    profile = get_profile("ResNet50", "NVIDIA A2")
+    assert profile.max_request_rate() == pytest.approx(1000.0 / profile.latency_ms)
+    assert profile.energy_per_hour_j(10.0) == pytest.approx(
+        profile.energy_per_request_j * 36_000.0)
+    with pytest.raises(ValueError):
+        profile.energy_per_hour_j(-1.0)
+
+
+def test_resource_demand_vector():
+    demand = get_profile("YOLOv4", "GTX 1080").resource_demand
+    assert demand["gpu_memory_mb"] > 0 and demand["cpu_cores"] > 0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        WorkloadProfile(workload="x", device="y", energy_per_request_j=0.0,
+                        latency_ms=1.0, gpu_memory_mb=0.0)
+    with pytest.raises(ValueError):
+        WorkloadProfile(workload="x", device="y", energy_per_request_j=1.0,
+                        latency_ms=0.0, gpu_memory_mb=0.0)

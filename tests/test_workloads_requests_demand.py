@@ -1,0 +1,75 @@
+"""Request-load and demand-distribution tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.demand import (
+    capacity_weights_from_population,
+    demand_per_site,
+    population_weights,
+    uniform_weights,
+)
+from repro.workloads.requests import RequestLoad, generate_request_load
+
+
+def test_request_load_rate_matches():
+    load = generate_request_load("app", rate_rps=10.0, duration_s=3600.0, seed=1)
+    assert load.mean_rate_rps == pytest.approx(10.0, rel=0.15)
+    assert load.arrival_times_s.min() >= 0.0
+    assert load.arrival_times_s.max() <= 3600.0
+
+
+def test_request_load_deterministic_per_app():
+    a = generate_request_load("app", 5.0, 100.0, seed=2)
+    b = generate_request_load("app", 5.0, 100.0, seed=2)
+    c = generate_request_load("other", 5.0, 100.0, seed=2)
+    assert np.array_equal(a.arrival_times_s, b.arrival_times_s)
+    assert not np.array_equal(a.arrival_times_s, c.arrival_times_s)
+
+
+def test_request_load_window_and_hourly_counts():
+    load = generate_request_load("app", 2.0, 7200.0, seed=1)
+    counts = load.hourly_counts()
+    assert counts.shape == (2,)
+    assert counts.sum() == len(load)
+    assert load.requests_in_window(0.0, 7200.0) == len(load)
+    with pytest.raises(ValueError):
+        load.requests_in_window(10.0, 5.0)
+
+
+def test_request_load_validation():
+    with pytest.raises(ValueError):
+        generate_request_load("a", 0.0, 10.0)
+    with pytest.raises(ValueError):
+        generate_request_load("a", 1.0, 0.0)
+    with pytest.raises(ValueError):
+        RequestLoad(app_id="a", arrival_times_s=np.array([5.0]), duration_s=1.0)
+
+
+def test_population_weights_normalised():
+    weights = population_weights(["New York", "Kingman"])
+    assert sum(weights.values()) == pytest.approx(1.0)
+    assert weights["New York"] > weights["Kingman"]
+
+
+def test_uniform_weights():
+    weights = uniform_weights(["a", "b", "c", "d"])
+    assert all(v == pytest.approx(0.25) for v in weights.values())
+    with pytest.raises(ValueError):
+        uniform_weights([])
+
+
+def test_demand_per_site_split():
+    demand = demand_per_site(["New York", "Kingman"], total_demand=100.0)
+    assert sum(demand.values()) == pytest.approx(100.0)
+    assert demand["New York"] > demand["Kingman"]
+    with pytest.raises(KeyError):
+        demand_per_site(["New York"], 10.0, weights={"Boston": 1.0})
+
+
+def test_capacity_weights_mean_one_and_floored():
+    sites = ["New York", "Miami", "Kingman", "Flagstaff"]
+    weights = capacity_weights_from_population(sites)
+    assert np.mean(list(weights.values())) == pytest.approx(1.0)
+    assert min(weights.values()) > 0.0
+    assert weights["New York"] == max(weights.values())
