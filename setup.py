@@ -1,8 +1,52 @@
-"""Legacy setup shim so `pip install -e .` works without the `wheel` package.
+"""Packaging metadata for the CarbonEdge reproduction.
 
-All project metadata lives in pyproject.toml; this file only enables the
-legacy (setup.py develop) editable-install path in offline environments.
+The project is a pure-python package under ``src/`` with numpy/scipy as its
+only runtime dependencies (the MILP layer uses scipy's HiGHS ``linprog``
+backend instead of OR-Tools so everything works offline). ``pip install -e .``
+installs the ``repro`` package plus the ``carbon-edge-quickstart`` console
+command demonstrated in the README.
 """
-from setuptools import setup
 
-setup()
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_README = Path(__file__).parent / "README.md"
+
+setup(
+    name="carbonedge-repro",
+    version="0.2.0",
+    description=(
+        "Reproduction of CarbonEdge: carbon-aware application placement across "
+        "edge data centers, with a pluggable solver-backend registry"
+    ),
+    long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.22",
+        "scipy>=1.9",
+    ],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "carbon-edge-quickstart = repro.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+        "Topic :: System :: Distributed Computing",
+    ],
+)

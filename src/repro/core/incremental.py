@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.carbon.service import CarbonIntensityService
 from repro.cluster.fleet import EdgeFleet
+from repro.cluster.resources import ResourceVector
 from repro.core.policies.base import PlacementPolicy
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
@@ -39,6 +40,9 @@ class PlacementRound:
     hour: int
     solution: PlacementSolution
     committed: bool
+    #: "batch" for a new-arrivals round, "resolve" for an epoch re-solve of
+    #: already-running applications.
+    kind: str = "batch"
 
 
 @dataclass
@@ -71,6 +75,9 @@ class IncrementalPlacer:
     validate: bool = True
     use_forecast: bool = True
     history: list[PlacementRound] = field(default_factory=list)
+    #: Applications committed through this placer, by id (the epoch re-solve
+    #: needs the full Application objects to rebuild the problem).
+    active_apps: dict[str, Application] = field(default_factory=dict)
 
     def build_problem(self, applications: list[Application], hour: int) -> PlacementProblem:
         """Assemble the placement problem for one batch from current fleet state."""
@@ -98,6 +105,58 @@ class IncrementalPlacer:
         self.history.append(PlacementRound(hour=hour, solution=solution, committed=commit))
         return solution
 
+    def resolve_epoch(self, hour: int) -> PlacementSolution | None:
+        """Re-solve the placement of every currently running application.
+
+        This is the epoch re-solve path: carbon intensities move between
+        epochs, so a placement that was optimal an hour ago may no longer be.
+        The placer rebuilds one problem over all applications currently
+        allocated on the fleet, *warm-starts* the policy's solver backend from
+        their current servers (so the heuristic backend only has to improve
+        incrementally), releases the old allocations, and commits the new
+        placement. Returns ``None`` when nothing is running.
+        """
+        current: dict[str, str] = {}  # app_id -> hosting server_id
+        for server in self.fleet.servers():
+            for app_id in server.allocations:
+                if app_id in self.active_apps:
+                    current[app_id] = server.server_id
+        if not current:
+            return None
+        apps = [self.active_apps[app_id] for app_id in current]
+        # Free the capacity the running applications hold so the re-solve can
+        # move them; the commit below re-allocates at the chosen servers. The
+        # freed vectors are kept so a failed re-solve restores the fleet
+        # bit-for-bit.
+        freed: dict[str, ResourceVector] = {}
+        for server in self.fleet.servers():
+            for app_id in list(server.allocations):
+                if app_id in current:
+                    freed[app_id] = server.release(app_id)
+        try:
+            problem = self.build_problem(apps, hour)
+            server_index = {s.server_id: j for j, s in enumerate(problem.servers)}
+            warm_start = {app_id: server_index[server_id]
+                          for app_id, server_id in current.items()}
+            solution = self.policy.timed_place(problem, warm_start=warm_start)
+            if self.validate:
+                validate_solution(solution, strict=True)
+        except Exception:
+            # Restore the released allocations so a failed re-solve leaves the
+            # fleet exactly as it was (matching deployments and bindings).
+            for app_id, server_id in current.items():
+                self.fleet.server(server_id).allocate(app_id, freed[app_id])
+            raise
+        self.commit(solution)
+        # An app the re-solve could not keep placed no longer holds capacity;
+        # drop it from the active set (the orchestrator tears down its
+        # deployment and binding in reoptimize()).
+        for app_id in solution.unplaced:
+            self.active_apps.pop(app_id, None)
+        self.history.append(PlacementRound(hour=hour, solution=solution,
+                                           committed=True, kind="resolve"))
+        return solution
+
     def commit(self, solution: PlacementSolution) -> None:
         """Apply a solution's power and allocation decisions to the fleet."""
         problem = solution.problem
@@ -108,17 +167,44 @@ class IncrementalPlacer:
         for app_id, j in solution.placements.items():
             i = problem.app_index(app_id)
             problem.servers[j].allocate(app_id, problem.demands[i][j])
+            self.active_apps[app_id] = problem.applications[i]
 
     def release_all(self) -> None:
         """Release every allocation committed through this placer (keeps power states)."""
         for server in self.fleet.servers():
             for app_id in list(server.allocations):
                 server.release(app_id)
+        self.active_apps.clear()
+
+    def live_solution(self) -> PlacementSolution | None:
+        """The most recently committed solution (``None`` before any commit).
+
+        After an epoch re-solve this covers *every* running application, so
+        its metrics describe the placement currently live on the fleet —
+        the number to read when quantifying what :meth:`resolve_epoch` saved.
+        """
+        for placement_round in reversed(self.history):
+            if placement_round.committed:
+                return placement_round.solution
+        return None
 
     def total_placed(self) -> int:
-        """Number of applications placed across all committed rounds."""
-        return sum(r.solution.n_placed for r in self.history if r.committed)
+        """Number of applications placed across all committed arrival batches.
+
+        Epoch re-solves re-place applications that were already counted, so
+        they are excluded here.
+        """
+        return sum(r.solution.n_placed for r in self.history
+                   if r.committed and r.kind == "batch")
 
     def total_carbon_g(self) -> float:
-        """Total Equation-6 carbon across all committed rounds, grams."""
-        return sum(r.solution.total_carbon_g() for r in self.history if r.committed)
+        """Total Equation-6 carbon across all committed arrival batches, grams.
+
+        This is *arrival accounting*: each batch's carbon as it was placed,
+        summed over batches (and excluding re-solve rounds, which re-place
+        applications already counted). It intentionally does not reflect
+        later epoch re-solves — for the current live footprint use
+        :meth:`live_solution` after a re-solve.
+        """
+        return sum(r.solution.total_carbon_g() for r in self.history
+                   if r.committed and r.kind == "batch")

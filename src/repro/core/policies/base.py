@@ -4,10 +4,16 @@ Every policy maps a :class:`~repro.core.problem.PlacementProblem` to a
 :class:`~repro.core.solution.PlacementSolution`. Policies are stateless across
 calls — all state (server capacities, power) lives in the problem instance,
 which the incremental placer rebuilds from the fleet before every batch.
+
+Policies optionally accept a *warm start* (a previous placement of the same
+applications), which the optimisation-based policies forward to the solver
+backends for incremental epoch re-solves; policies that cannot use it simply
+ignore the argument.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
 from abc import ABC, abstractmethod
 
@@ -22,16 +28,31 @@ class PlacementPolicy(ABC):
     name: str = "policy"
 
     @abstractmethod
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
         """Place the problem's applications and return the resulting solution."""
 
-    def timed_place(self, problem: PlacementProblem) -> PlacementSolution:
+    def timed_place(self, problem: PlacementProblem,
+                    warm_start: dict[str, int] | None = None) -> PlacementSolution:
         """Run :meth:`place` and record its wall-clock time on the solution."""
         start = time.monotonic()
-        solution = self.place(problem)
+        # Only forward the warm start to policies whose place() accepts it, so
+        # subclasses written against the original single-argument signature
+        # keep working everywhere — including the epoch re-solve path, which
+        # always supplies one.
+        if warm_start is None or not self._accepts_warm_start():
+            solution = self.place(problem)
+        else:
+            solution = self.place(problem, warm_start=warm_start)
         solution.solve_time_s = time.monotonic() - start
         solution.policy_name = self.name
         return solution
+
+    def _accepts_warm_start(self) -> bool:
+        """Whether this policy's ``place`` accepts the ``warm_start`` keyword."""
+        parameters = inspect.signature(self.place).parameters
+        return "warm_start" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values())
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

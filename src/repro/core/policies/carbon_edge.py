@@ -3,13 +3,19 @@
 CarbonEdge minimises the Equation-6 carbon footprint of the batch — operational
 emissions of every assignment plus activation emissions of newly powered-on
 servers — subject to the capacity, latency, assignment, and power-state
-constraints (Equations 1–5). Three solver strategies are available:
+constraints (Equations 1–5). The actual optimisation is delegated to the
+pluggable solver-backend registry (:mod:`repro.solver.registry`):
 
-* ``"exact"`` — branch & bound over the MILP (HiGHS LP relaxations), the
-  OR-Tools analogue used for the testbed-scale experiments;
-* ``"lp-round"`` — one LP relaxation followed by rounding & repair;
-* ``"greedy"`` — the marginal-carbon greedy engine, used at CDN scale;
-* ``"auto"`` (default) — exact for small models, greedy beyond a size cutoff.
+* ``"exact"`` / ``"bnb"`` — branch & bound over the MILP (HiGHS LP
+  relaxations), the OR-Tools analogue used for the testbed-scale experiments;
+* ``"lp-round"`` — one LP relaxation followed by randomized rounding;
+* ``"greedy"`` / ``"heuristic"`` — the vectorised greedy + local-search
+  backend, used at CDN scale and under tight time budgets;
+* ``"auto"`` (default) — exact for small models with enough budget, the
+  heuristic beyond the size cutoff.
+
+Any other backend registered with the registry is accepted by name, so new
+backends (e.g. a real OR-Tools binding) plug in without touching this policy.
 
 The multi-objective extension (Equation 8) is exposed through ``alpha``:
 ``alpha = 0`` is vanilla CarbonEdge, ``alpha = 1`` reduces to the Energy-aware
@@ -20,26 +26,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.filters import filter_feasible_servers
-from repro.core.model_builder import (
-    assignment_groups,
-    build_placement_model,
-    solution_from_values,
-)
-from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.objective import ObjectiveKind
 from repro.core.policies.base import PlacementPolicy
-from repro.core.policies.greedy import greedy_place
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
-from repro.solver.branch_and_bound import BranchAndBoundSolver
-from repro.solver.lp_relaxation import solve_lp_relaxation
-from repro.solver.rounding import round_and_repair
+from repro.solver import registry
+from repro.solver.config import AUTO_EXACT_PAIR_LIMIT
 
-#: Solver strategies accepted by the optimisation-based policies.
+#: Historical solver strategy names (all remain valid; the registry accepts
+#: any registered backend name or alias on top of these).
 SOLVER_STRATEGIES: tuple[str, ...] = ("auto", "exact", "lp-round", "greedy")
 
-#: "auto" switches from exact to greedy above this number of x-variables.
-AUTO_EXACT_VARIABLE_LIMIT: int = 4000
+#: Back-compat re-export: "auto" switches from exact to the heuristic backend
+#: above this number of candidate (application, server) pairs.
+AUTO_EXACT_VARIABLE_LIMIT: int = AUTO_EXACT_PAIR_LIMIT
+
+
+def validate_solver_name(solver: str) -> None:
+    """Raise ``ValueError`` unless ``solver`` names a registered backend or auto."""
+    if solver not in registry.backend_names(include_auto=True):
+        raise ValueError(
+            f"unknown solver {solver!r}; expected one of {registry.backend_names()}")
 
 
 @dataclass
@@ -52,12 +59,13 @@ class CarbonEdgePolicy(PlacementPolicy):
         Energy weight of the multi-objective extension (Equation 8); 0 keeps
         the pure carbon objective.
     solver:
-        One of :data:`SOLVER_STRATEGIES`.
+        Backend name, alias, or ``"auto"`` (see :func:`repro.solver.registry.solve`).
     manage_power:
         Include the server-activation term and power decisions; disabling it
         reproduces the "no power management" ablation.
     max_nodes / time_limit_s:
-        Budget of the exact branch-and-bound solver.
+        Node and wall-clock budget forwarded to the solver backends (the node
+        budget only applies to branch and bound).
     """
 
     alpha: float = 0.0
@@ -68,9 +76,7 @@ class CarbonEdgePolicy(PlacementPolicy):
     name: str = "CarbonEdge"
 
     def __post_init__(self) -> None:
-        if self.solver not in SOLVER_STRATEGIES:
-            raise ValueError(
-                f"unknown solver {self.solver!r}; expected one of {SOLVER_STRATEGIES}")
+        validate_solver_name(self.solver)
         if not 0.0 <= self.alpha <= 1.0:
             raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
         if self.alpha > 0:
@@ -81,60 +87,15 @@ class CarbonEdgePolicy(PlacementPolicy):
         """Objective minimised by this policy instance."""
         return ObjectiveKind.MULTI if self.alpha > 0 else ObjectiveKind.CARBON
 
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
-        report = filter_feasible_servers(problem)
-        strategy = self.solver
-        if strategy == "auto":
-            strategy = "exact" if report.n_candidate_pairs <= AUTO_EXACT_VARIABLE_LIMIT else "greedy"
-
-        assign, activation = objective_coefficients(problem, self.objective_kind, self.alpha)
-        greedy_solution = greedy_place(problem, assign, activation, report=report)
-        if strategy == "greedy":
-            return greedy_solution
-
-        model, report = build_placement_model(
-            problem, objective=self.objective_kind, alpha=self.alpha,
-            report=report, manage_power=self.manage_power)
-        groups = assignment_groups(problem, report)
-
-        if strategy == "lp-round":
-            relaxed = solve_lp_relaxation(model)
-            if not relaxed.has_solution:
-                return greedy_solution
-            if relaxed.is_integral(model.binary_names()):
-                result = relaxed
-            else:
-                result = round_and_repair(model, relaxed.values, groups=groups)
-                if not result.has_solution:
-                    return greedy_solution
-        else:  # exact
-            solver = BranchAndBoundSolver(max_nodes=self.max_nodes,
-                                          time_limit_s=self.time_limit_s,
-                                          rounding_groups=groups)
-            result = solver.solve(model)
-            if not result.has_solution:
-                return greedy_solution
-
-        placements, power_on = solution_from_values(problem, report, result.values)
-        unplaced = [problem.applications[i].app_id for i in report.unplaceable]
-        # Applications with candidates but no assignment in the solver output
-        # (should not happen for feasible models) fall back to greedy choices.
-        for app in problem.applications:
-            if app.app_id not in placements and app.app_id not in unplaced:
-                if app.app_id in greedy_solution.placements:
-                    placements[app.app_id] = greedy_solution.placements[app.app_id]
-                    power_on[greedy_solution.placements[app.app_id]] = 1.0
-                else:
-                    unplaced.append(app.app_id)
-        solution = PlacementSolution(problem=problem, placements=placements,
-                                     power_on=power_on, unplaced=unplaced,
-                                     solver_gap=result.gap)
-        # Keep whichever of (optimised, greedy) actually achieves lower carbon;
-        # with an exhausted node budget the greedy answer can win.
-        if greedy_solution.all_placed and not solution.all_placed:
-            return greedy_solution
-        if (greedy_solution.n_placed == solution.n_placed
-                and greedy_solution.total_carbon_g() < solution.total_carbon_g() - 1e-9
-                and self.objective_kind is ObjectiveKind.CARBON):
-            return greedy_solution
-        return solution
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
+        return registry.solve(
+            problem,
+            backend=self.solver,
+            objective=self.objective_kind,
+            alpha=self.alpha,
+            manage_power=self.manage_power,
+            time_budget_s=self.time_limit_s,
+            warm_start=warm_start,
+            max_nodes=self.max_nodes,
+        )

@@ -3,26 +3,20 @@
 Section 6.1.3, baseline 2: "distributes workloads to energy-efficient edge data
 centers to decrease energy consumption". Implemented as the same optimisation
 as CarbonEdge but with the energy objective (dynamic energy of every assignment
-plus the base-power energy of newly activated servers).
+plus the base-power energy of newly activated servers), solved through the same
+pluggable backend registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.filters import filter_feasible_servers
-from repro.core.model_builder import (
-    assignment_groups,
-    build_placement_model,
-    solution_from_values,
-)
-from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.objective import ObjectiveKind
 from repro.core.policies.base import PlacementPolicy
-from repro.core.policies.carbon_edge import AUTO_EXACT_VARIABLE_LIMIT, SOLVER_STRATEGIES
-from repro.core.policies.greedy import greedy_place
+from repro.core.policies.carbon_edge import validate_solver_name
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
-from repro.solver.branch_and_bound import BranchAndBoundSolver
+from repro.solver import registry
 
 
 @dataclass
@@ -35,43 +29,15 @@ class EnergyAwarePolicy(PlacementPolicy):
     name: str = "Energy-aware"
 
     def __post_init__(self) -> None:
-        if self.solver not in SOLVER_STRATEGIES:
-            raise ValueError(
-                f"unknown solver {self.solver!r}; expected one of {SOLVER_STRATEGIES}")
+        validate_solver_name(self.solver)
 
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
-        report = filter_feasible_servers(problem)
-        assign, activation = objective_coefficients(problem, ObjectiveKind.ENERGY)
-        greedy_solution = greedy_place(problem, assign, activation, report=report)
-
-        strategy = self.solver
-        if strategy == "auto":
-            strategy = "exact" if report.n_candidate_pairs <= AUTO_EXACT_VARIABLE_LIMIT else "greedy"
-        if strategy in ("greedy", "lp-round"):
-            # The LP-round path adds little for the energy objective (it is
-            # dominated by per-device efficiency); use the greedy engine.
-            return greedy_solution
-
-        model, report = build_placement_model(problem, objective=ObjectiveKind.ENERGY,
-                                              report=report)
-        solver = BranchAndBoundSolver(max_nodes=self.max_nodes, time_limit_s=self.time_limit_s,
-                                      rounding_groups=assignment_groups(problem, report))
-        result = solver.solve(model)
-        if not result.has_solution:
-            return greedy_solution
-        placements, power_on = solution_from_values(problem, report, result.values)
-        unplaced = [problem.applications[i].app_id for i in report.unplaceable]
-        for app in problem.applications:
-            if app.app_id not in placements and app.app_id not in unplaced:
-                if app.app_id in greedy_solution.placements:
-                    placements[app.app_id] = greedy_solution.placements[app.app_id]
-                    power_on[greedy_solution.placements[app.app_id]] = 1.0
-                else:
-                    unplaced.append(app.app_id)
-        solution = PlacementSolution(problem=problem, placements=placements,
-                                     power_on=power_on, unplaced=unplaced,
-                                     solver_gap=result.gap)
-        if greedy_solution.n_placed == solution.n_placed and \
-                greedy_solution.total_energy_j() < solution.total_energy_j() - 1e-9:
-            return greedy_solution
-        return solution
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
+        return registry.solve(
+            problem,
+            backend=self.solver,
+            objective=ObjectiveKind.ENERGY,
+            time_budget_s=self.time_limit_s,
+            warm_start=warm_start,
+            max_nodes=self.max_nodes,
+        )

@@ -102,7 +102,8 @@ class GreedyCarbonPolicy(PlacementPolicy):
 
     name: str = "GreedyCarbon"
 
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
         report = filter_feasible_servers(problem)
         assign, activation = objective_coefficients(problem, ObjectiveKind.CARBON)
         return greedy_place(problem, assign, activation, report=report)

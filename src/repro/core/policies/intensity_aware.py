@@ -26,7 +26,8 @@ class IntensityAwarePolicy(PlacementPolicy):
 
     name: str = "Intensity-aware"
 
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
         report = filter_feasible_servers(problem)
         # Cost of an assignment is just the hosting zone's intensity.
         assign_cost = np.broadcast_to(problem.intensity[None, :],

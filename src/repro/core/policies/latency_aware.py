@@ -25,7 +25,8 @@ class LatencyAwarePolicy(PlacementPolicy):
 
     name: str = "Latency-aware"
 
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
         report = filter_feasible_servers(problem)
         assign_cost = problem.latency_ms.copy()
         activation_cost = np.zeros(problem.n_servers)

@@ -26,7 +26,8 @@ class RandomPolicy(PlacementPolicy):
     seed: int = 0
     name: str = "Random"
 
-    def place(self, problem: PlacementProblem) -> PlacementSolution:
+    def place(self, problem: PlacementProblem,
+              warm_start: dict[str, int] | None = None) -> PlacementSolution:
         report = filter_feasible_servers(problem)
         rng = substream(self.seed, "random-policy", problem.n_applications,
                         problem.n_servers)

@@ -49,6 +49,9 @@ class PlacementSolution:
     policy_name: str = ""
     #: Optimality gap reported by the solver (0 when exact, NaN when unknown).
     solver_gap: float = float("nan")
+    #: Canonical name of the solver backend that produced the solution
+    #: (empty when the solution did not come through the backend registry).
+    backend_name: str = ""
 
     def __post_init__(self) -> None:
         if len(self.power_on) == 0:

@@ -3,7 +3,11 @@
 The paper scales the placement to 400 servers and 140 applications and reports
 solve times under 3 seconds and memory under 200 MB. The runner measures our
 solver's wall-clock time and peak memory while varying one dimension at a time
-(servers with applications fixed, applications with servers fixed).
+(servers with applications fixed, applications with servers fixed). Solving
+goes through the pluggable backend registry (:func:`repro.solver.solve`), so
+the sweep can pin any registered backend — ``compare_backends`` runs the exact
+and heuristic backends on identical instances to quantify the speed/quality
+trade the registry's ``auto`` rule exploits.
 """
 
 from __future__ import annotations
@@ -15,7 +19,6 @@ from repro.analysis.reporting import format_table
 from repro.carbon.service import CarbonIntensityService
 from repro.carbon.synthetic import SyntheticTraceGenerator
 from repro.cluster.fleet import build_cdn_fleet
-from repro.core.policies.carbon_edge import CarbonEdgePolicy
 from repro.core.problem import PlacementProblem
 from repro.core.validation import validate_solution
 from repro.datasets.akamai import CDNFootprint, build_cdn_footprint
@@ -23,6 +26,7 @@ from repro.datasets.cities import default_city_catalog
 from repro.datasets.electricity_maps import default_zone_catalog
 from repro.experiments.common import EXPERIMENT_SEED
 from repro.network.latency import build_latency_matrix
+from repro.solver import solve
 from repro.workloads.generator import ApplicationGenerator
 
 #: Server counts swept (paper: 100–400).
@@ -62,12 +66,12 @@ def _build_problem(n_servers: int, n_apps: int, seed: int) -> PlacementProblem:
                                   hour=0, horizon_hours=1.0)
 
 
-def _measure(problem: PlacementProblem, solver: str) -> tuple[float, float]:
-    """(solve seconds, peak MiB) of one CarbonEdge placement."""
-    policy = CarbonEdgePolicy(solver=solver)
+def _measure(problem: PlacementProblem, backend: str,
+             time_budget_s: float | None = None) -> tuple[float, float]:
+    """(solve seconds, peak MiB) of one placement through the backend registry."""
     tracemalloc.start()
     start = time.monotonic()
-    solution = policy.place(problem)
+    solution = solve(problem, backend=backend, time_budget_s=time_budget_s)
     elapsed = time.monotonic() - start
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
@@ -75,24 +79,68 @@ def _measure(problem: PlacementProblem, solver: str) -> tuple[float, float]:
     return elapsed, peak / (1024.0 * 1024.0)
 
 
-def run(seed: int = EXPERIMENT_SEED, solver: str = "auto",
+def run(seed: int = EXPERIMENT_SEED, backend: str = "auto",
         server_counts: tuple[int, ...] = SERVER_COUNTS,
         app_counts: tuple[int, ...] = APP_COUNTS,
-        fixed_apps: int = 50, fixed_servers: int = 100) -> dict[str, object]:
+        fixed_apps: int = 50, fixed_servers: int = 100,
+        time_budget_s: float | None = None) -> dict[str, object]:
     """Runtime and memory scaling in both dimensions."""
     server_rows = []
     for n_servers in server_counts:
         problem = _build_problem(n_servers, fixed_apps, seed)
-        elapsed, peak_mb = _measure(problem, solver)
+        elapsed, peak_mb = _measure(problem, backend, time_budget_s)
         server_rows.append({"n_servers": n_servers, "n_apps": fixed_apps,
                             "time_s": elapsed, "peak_memory_mb": peak_mb})
     app_rows = []
     for n_apps in app_counts:
         problem = _build_problem(fixed_servers, n_apps, seed)
-        elapsed, peak_mb = _measure(problem, solver)
+        elapsed, peak_mb = _measure(problem, backend, time_budget_s)
         app_rows.append({"n_servers": fixed_servers, "n_apps": n_apps,
                          "time_s": elapsed, "peak_memory_mb": peak_mb})
     return {"by_servers": server_rows, "by_apps": app_rows}
+
+
+def compare_backends(seed: int = EXPERIMENT_SEED,
+                     sizes: tuple[tuple[int, int], ...] = ((100, 50), (200, 100)),
+                     backends: tuple[str, ...] = ("bnb", "heuristic")) -> list[dict[str, object]]:
+    """Exact-vs-heuristic comparison on identical fig17-size instances.
+
+    Each backend is invoked *directly* (``get_backend(name).solve(request)``)
+    rather than through ``registry.solve``, so the measured time is the
+    backend's alone — no heuristic-baseline runtime inflating the exact
+    backend's numbers, and no silent fallback substituting another backend's
+    solution for the one being labelled. Returns one row per (size, backend)
+    with solve time and the Equation-6 carbon of the produced placement, plus
+    per-size speedup of the fastest backend relative to the slowest.
+    """
+    from repro.solver.backend import SolveRequest
+    from repro.solver.registry import get_backend
+
+    rows: list[dict[str, object]] = []
+    for n_servers, n_apps in sizes:
+        problem = _build_problem(n_servers, n_apps, seed)
+        timings: dict[str, float] = {}
+        for backend in backends:
+            # Fresh request per backend: nothing (feasibility report, dense
+            # arrays, deadline) is shared, so timings are self-contained. No
+            # tracemalloc either — its allocation-tracking overhead would
+            # distort exactly the timings the comparison reports.
+            request = SolveRequest(problem=problem)
+            start = time.monotonic()
+            solution = get_backend(backend).solve(request)
+            elapsed = time.monotonic() - start
+            if solution is None:
+                raise RuntimeError(f"backend {backend!r} returned no solution "
+                                   f"at size ({n_servers}, {n_apps})")
+            validate_solution(solution)
+            timings[backend] = elapsed
+            rows.append({"n_servers": n_servers, "n_apps": n_apps, "backend": backend,
+                         "time_s": elapsed, "carbon_g": solution.total_carbon_g(),
+                         "placed": solution.n_placed})
+        slowest = max(timings.values())
+        for row in rows[-len(backends):]:
+            row["speedup_vs_slowest"] = slowest / max(row["time_s"], 1e-9)
+    return rows
 
 
 def report(result: dict[str, object]) -> str:

@@ -52,27 +52,67 @@ class EdgeOrchestrator:
         for app_id, j in solution.placements.items():
             server = solution.problem.servers[j]
             app = solution.problem.applications[solution.problem.app_index(app_id)]
-            recipe = recipe_for_application(app, server)
-            deployment = Deployment(
-                deployment_id=f"dep-{app_id}",
-                recipe=recipe,
-                server_id=server.server_id,
-                site=server.site,
-                created_at_s=self.clock_s,
-            )
-            self.clock_s += DEPLOYMENT_INITIATION_S
-            deployment.transition(DeploymentState.DEPLOYING)
-            deployment.transition(DeploymentState.RUNNING, at_s=self.clock_s)
-            self.deployments[deployment.deployment_id] = deployment
-            self.bindings[app_id] = ClientBinding(
-                app_id=app_id,
-                site=server.site,
-                server_id=server.server_id,
-                endpoint=f"http://{server.server_id}.{server.site.replace(' ', '-').lower()}"
-                         f".edge.local:8080",
-            )
-            created.append(deployment)
+            created.append(self._deploy_one(app, server))
         return created
+
+    def _deploy_one(self, app: Application, server) -> Deployment:
+        """Create, start, and bind one deployment of ``app`` on ``server``."""
+        deployment = Deployment(
+            deployment_id=f"dep-{app.app_id}",
+            recipe=recipe_for_application(app, server),
+            server_id=server.server_id,
+            site=server.site,
+            created_at_s=self.clock_s,
+        )
+        self.clock_s += DEPLOYMENT_INITIATION_S
+        deployment.transition(DeploymentState.DEPLOYING)
+        deployment.transition(DeploymentState.RUNNING, at_s=self.clock_s)
+        self.deployments[deployment.deployment_id] = deployment
+        self.bindings[app.app_id] = ClientBinding(
+            app_id=app.app_id,
+            site=server.site,
+            server_id=server.server_id,
+            endpoint=f"http://{server.server_id}.{server.site.replace(' ', '-').lower()}"
+                     f".edge.local:8080",
+        )
+        return deployment
+
+    def reoptimize(self, hour: int) -> dict[str, str]:
+        """Epoch re-solve: re-place running applications and migrate the movers.
+
+        Calls :meth:`~repro.core.incremental.IncrementalPlacer.resolve_epoch`
+        (which warm-starts the solver backend from the current placement),
+        then terminates and re-deploys every application whose server changed
+        and refreshes its client binding. An application the re-solve could
+        not keep placed (its capacity was already released) has its
+        deployment terminated and its binding removed, like
+        :meth:`terminate`. Returns ``app_id -> new server_id`` for the
+        applications that actually moved.
+        """
+        solution = self.placer.resolve_epoch(hour)
+        if solution is None:
+            return {}
+        moved: dict[str, str] = {}
+        for app_id, j in solution.placements.items():
+            server = solution.problem.servers[j]
+            binding = self.bindings.get(app_id)
+            if binding is not None and binding.server_id == server.server_id:
+                continue
+            old = self.deployments.get(f"dep-{app_id}")
+            if old is not None and old.state is DeploymentState.RUNNING:
+                old.transition(DeploymentState.TERMINATED, at_s=self.clock_s)
+            app = solution.problem.applications[solution.problem.app_index(app_id)]
+            self._deploy_one(app, server)
+            moved[app_id] = server.server_id
+        # Evicted applications: no placement survived the re-solve, so tear
+        # down their deployment and binding instead of leaving them pointing
+        # at capacity they no longer hold.
+        for app_id in solution.unplaced:
+            deployment = self.deployments.get(f"dep-{app_id}")
+            if deployment is not None and deployment.state is DeploymentState.RUNNING:
+                deployment.transition(DeploymentState.TERMINATED, at_s=self.clock_s)
+            self.bindings.pop(app_id, None)
+        return moved
 
     def binding_for(self, app_id: str) -> ClientBinding:
         """The client binding for an application (raises if it was never deployed)."""
@@ -92,6 +132,9 @@ class EdgeOrchestrator:
         if app_id in server.allocations:
             server.release(app_id)
         self.bindings.pop(app_id, None)
+        # Keep the placer's re-solve bookkeeping in sync: a terminated app
+        # must not be re-placed by future epoch re-solves.
+        self.placer.active_apps.pop(app_id, None)
 
     def running_deployments(self) -> list[Deployment]:
         """All deployments currently in the RUNNING state."""

@@ -1,8 +1,10 @@
-"""Mixed-integer linear programming substrate (the OR-Tools stand-in).
+"""Solver layer: the MILP substrate and the pluggable backend registry.
 
 The paper solves its placement optimisation (Equation 7) with Google OR-Tools.
-OR-Tools is not available offline, so this package provides an in-house MILP
-layer with the pieces the placement policies need:
+OR-Tools is not available offline, so this package provides an in-house solver
+layer in two tiers:
+
+**The MILP substrate** (generic — knows nothing about carbon or placement):
 
 * :mod:`repro.solver.milp` — a small MILP model builder (variables, linear
   constraints, linear objective) with validation helpers.
@@ -13,8 +15,20 @@ layer with the pieces the placement policies need:
 * :mod:`repro.solver.rounding` — LP-rounding and repair heuristics.
 * :mod:`repro.solver.result` — solution/status containers.
 
-The layer is generic (it knows nothing about carbon or placement); the
-placement-specific model construction lives in :mod:`repro.core`.
+**The placement-backend layer** (the production front door):
+
+* :mod:`repro.solver.backend` — the :class:`PlacementSolver` protocol,
+  :class:`SolveRequest`, and the dense cost arrays shared by vectorised
+  backends.
+* :mod:`repro.solver.registry` — backend registration and
+  :func:`solve(problem, backend="auto", time_budget_s=...) <repro.solver.registry.solve>`.
+* :mod:`repro.solver.backends` — the built-in backends: ``bnb`` (exact branch
+  and bound), ``heuristic`` (vectorised greedy + local search), and
+  ``lp-round`` (LP relaxation + randomized rounding).
+
+The registry symbols are exported lazily so that importing
+``repro.solver.milp`` from :mod:`repro.core` never triggers the backends'
+(circular) import of the placement problem types.
 """
 
 from repro.solver.milp import MILPModel, Variable, LinearConstraint, VariableKind
@@ -33,4 +47,27 @@ __all__ = [
     "solve_lp_relaxation",
     "BranchAndBoundSolver",
     "round_and_repair",
+    # lazily exported backend-registry API
+    "solve",
+    "get_backend",
+    "register_backend",
+    "available_backends",
+    "backend_names",
+    "PlacementSolver",
+    "SolveRequest",
 ]
+
+_LAZY_REGISTRY_EXPORTS = {
+    "solve", "get_backend", "register_backend", "available_backends", "backend_names",
+}
+_LAZY_BACKEND_EXPORTS = {"PlacementSolver", "SolveRequest"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_REGISTRY_EXPORTS:
+        from repro.solver import registry
+        return getattr(registry, name)
+    if name in _LAZY_BACKEND_EXPORTS:
+        from repro.solver import backend
+        return getattr(backend, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,276 @@
+"""The solver-backend abstraction for the placement problem.
+
+A *backend* solves one :class:`~repro.core.problem.PlacementProblem` under a
+:class:`SolveRequest` (objective, time budget, warm start) and returns a
+:class:`~repro.core.solution.PlacementSolution` — or ``None`` when it cannot
+produce one, in which case the registry falls back to the heuristic backend.
+Backends implement the :class:`PlacementSolver` protocol and register
+themselves with :func:`repro.solver.registry.register_backend`; callers go
+through :func:`repro.solver.registry.solve` and never instantiate backends
+directly.
+
+This module also provides the shared numeric substrate the vectorised
+backends build on: :class:`DenseCosts` precomputes the per-pair cost matrix
+(with the same deterministic latency tie-break the MILP builder applies),
+dense per-resource demand/capacity arrays, and activation costs, so the
+heuristic and rounding backends never touch per-pair Python objects in their
+hot loops.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.filters import FeasibilityReport, filter_feasible_servers
+from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+
+
+@dataclass
+class SolveRequest:
+    """Everything a backend needs to solve one placement instance.
+
+    Parameters
+    ----------
+    problem:
+        The placement problem instance.
+    objective:
+        Which objective to minimise (carbon by default).
+    alpha:
+        Energy weight of the multi-objective variant (Equation 8).
+    manage_power:
+        Include the server-activation term and power decisions; when False
+        every server is treated as already on (the power ablation).
+    time_budget_s:
+        Wall-clock budget. Backends must return their best answer so far when
+        it expires; ``None`` means each backend's own default limit applies.
+    warm_start:
+        Optional previous placement (app id -> server index) used to seed the
+        heuristic backend for incremental epoch re-solves. Entries that are
+        stale or infeasible are silently ignored.
+    max_nodes:
+        Node budget for the branch-and-bound backend (ignored by the others).
+    seed:
+        Seed for the randomised backends (randomized rounding).
+    """
+
+    problem: PlacementProblem
+    objective: ObjectiveKind = ObjectiveKind.CARBON
+    alpha: float = 0.0
+    manage_power: bool = True
+    time_budget_s: float | None = None
+    warm_start: dict[str, int] | None = None
+    max_nodes: int | None = None
+    seed: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+    _report: FeasibilityReport | None = field(default=None, repr=False)
+    _coefficients: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
+    _dense: "DenseCosts | None" = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.time_budget_s is not None and self.time_budget_s < 0:
+            raise ValueError(f"time_budget_s must be non-negative, got {self.time_budget_s}")
+        if self.max_nodes is not None and self.max_nodes < 1:
+            raise ValueError(f"max_nodes must be positive, got {self.max_nodes}")
+
+    @property
+    def report(self) -> FeasibilityReport:
+        """Feasible-server report (computed once, shared by all backends)."""
+        if self._report is None:
+            self._report = filter_feasible_servers(self.problem)
+        return self._report
+
+    def coefficients(self) -> tuple[np.ndarray, np.ndarray]:
+        """Raw (assignment, activation) objective coefficients for this request.
+
+        With ``manage_power=False`` the activation coefficients are zero — the
+        objective ignores power state, matching the MILP builder's behaviour.
+        """
+        if self._coefficients is None:
+            assign, activation = objective_coefficients(self.problem, self.objective, self.alpha)
+            if not self.manage_power:
+                activation = np.zeros_like(activation)
+            self._coefficients = (assign, activation)
+        return self._coefficients
+
+    def dense(self) -> "DenseCosts":
+        """Dense cost/demand arrays (built once, shared by every backend).
+
+        The build walks every candidate pair in Python, so sharing it between
+        the requested backend and the heuristic baseline matters at scale.
+        """
+        if self._dense is None:
+            self._dense = DenseCosts.build(self)
+        return self._dense
+
+    def remaining_s(self, default: float | None = None) -> float | None:
+        """Seconds left in the budget (``default`` when no budget was set)."""
+        if self.time_budget_s is None:
+            return default
+        return max(0.0, self.time_budget_s - (time.monotonic() - self.started_at))
+
+    def deadline(self, default_budget_s: float) -> float:
+        """Absolute monotonic deadline, using ``default_budget_s`` when unbudgeted."""
+        budget = self.time_budget_s if self.time_budget_s is not None else default_budget_s
+        return self.started_at + budget
+
+    def expired(self) -> bool:
+        """Whether the explicit time budget (if any) has run out."""
+        remaining = self.remaining_s()
+        return remaining is not None and remaining <= 0.0
+
+
+@runtime_checkable
+class PlacementSolver(Protocol):
+    """Protocol every solver backend implements."""
+
+    #: Canonical backend name (the registry key).
+    name: str
+
+    def solve(self, request: SolveRequest) -> PlacementSolution | None:
+        """Solve the request, or return ``None`` when no solution was found."""
+        ...
+
+
+@dataclass
+class DenseCosts:
+    """Dense numpy view of a placement instance for the vectorised backends.
+
+    Attributes
+    ----------
+    keys:
+        Resource dimensions, the K axis of ``demand`` / ``capacity``.
+    demand:
+        (A, S, K) per-pair resource demands (zero outside the candidate mask).
+    capacity:
+        (S, K) available capacity per server.
+    mask:
+        (A, S) candidate mask from the feasibility report.
+    cost:
+        (A, S) assignment cost including the deterministic latency tie-break;
+        ``+inf`` outside the mask.
+    raw_assign:
+        (A, S) un-augmented assignment coefficients (for reporting).
+    activation:
+        (S,) activation cost of switching a server on (zero when power is
+        unmanaged).
+    initially_on:
+        (S,) bool, servers already on (all True when power is unmanaged).
+    """
+
+    keys: list[str]
+    demand: np.ndarray
+    capacity: np.ndarray
+    mask: np.ndarray
+    cost: np.ndarray
+    raw_assign: np.ndarray
+    activation: np.ndarray
+    initially_on: np.ndarray
+
+    @classmethod
+    def build(cls, request: SolveRequest) -> "DenseCosts":
+        """Precompute the dense arrays for one request."""
+        problem = request.problem
+        mask = request.report.mask
+        assign, activation = request.coefficients()
+
+        key_set: set[str] = set()
+        for cap in problem.capacities:
+            key_set.update(cap.keys())
+        a, s = problem.n_applications, problem.n_servers
+        for i in range(a):
+            for j in np.flatnonzero(mask[i]):
+                key_set.update(problem.demands[i][int(j)].keys())
+        keys = sorted(key_set)
+        k = len(keys)
+
+        capacity = np.array([[cap.get(key) for key in keys] for cap in problem.capacities],
+                            dtype=float).reshape(s, k)
+        demand = np.zeros((a, s, k))
+        for i in range(a):
+            for j in np.flatnonzero(mask[i]):
+                vec = problem.demands[i][int(j)]
+                for ki, key in enumerate(keys):
+                    demand[i, int(j), ki] = vec.get(key)
+
+        cost = cls._tie_broken(problem, assign, mask)
+        initially_on = (problem.current_power > 0.5) if request.manage_power \
+            else np.ones(s, dtype=bool)
+        return cls(keys=keys, demand=demand, capacity=capacity, mask=mask, cost=cost,
+                   raw_assign=assign, activation=np.asarray(activation, dtype=float),
+                   initially_on=initially_on)
+
+    @staticmethod
+    def _tie_broken(problem: PlacementProblem, assign: np.ndarray,
+                    mask: np.ndarray) -> np.ndarray:
+        """Assignment cost with the MILP builder's epsilon latency tie-break.
+
+        Using the identical perturbation keeps every backend minimising the
+        same augmented objective, so cross-backend comparisons are apples to
+        apples and objective-equivalent placements break ties the same way.
+        """
+        feasible_vals = assign[mask] if mask.any() else assign
+        scale = float(np.abs(feasible_vals).max()) if feasible_vals.size else 1.0
+        latency_scale = float(problem.latency_ms[mask].max()) if mask.any() else 1.0
+        cost = assign.astype(float, copy=True)
+        if scale > 0 and latency_scale > 0:
+            epsilon = 1e-5 * scale / latency_scale
+            cost = cost + epsilon * np.where(mask, problem.latency_ms, 0.0)
+        return np.where(mask, cost, np.inf)
+
+    def fits(self, i: int, capacity_left: np.ndarray) -> np.ndarray:
+        """(S,) bool: servers with room for application ``i`` given remaining capacity."""
+        return bool_all(self.demand[i] <= capacity_left + 1e-9)
+
+
+def bool_all(fits_per_key: np.ndarray) -> np.ndarray:
+    """All-dimensions reduction that tolerates a zero-width resource axis."""
+    if fits_per_key.shape[-1] == 0:
+        return np.ones(fits_per_key.shape[:-1], dtype=bool)
+    return np.all(fits_per_key, axis=-1)
+
+
+def solution_from_assignment(request: SolveRequest,
+                             assignment: np.ndarray) -> PlacementSolution:
+    """Decode an (A,) assignment vector (server index or -1) into a solution."""
+    problem = request.problem
+    placements: dict[str, int] = {}
+    unplaced: list[str] = []
+    for i, app in enumerate(problem.applications):
+        j = int(assignment[i])
+        if j >= 0:
+            placements[app.app_id] = j
+        else:
+            unplaced.append(app.app_id)
+    if request.manage_power:
+        power_on = problem.current_power.copy()
+        for j in set(placements.values()):
+            power_on[j] = 1.0
+    else:
+        power_on = np.ones(problem.n_servers)
+    return PlacementSolution(problem=problem, placements=placements,
+                             power_on=power_on, unplaced=unplaced)
+
+
+def raw_objective_value(request: SolveRequest, solution: PlacementSolution) -> float:
+    """Objective value of a solution under the request's un-augmented coefficients.
+
+    Used by the registry to compare candidate solutions from different
+    backends on equal footing (total carbon for the carbon objective, joules
+    for energy, the normalised blend for multi-objective).
+    """
+    assign, activation = request.coefficients()
+    problem = request.problem
+    total = 0.0
+    for app_id, j in solution.placements.items():
+        total += float(assign[problem.app_index(app_id), j])
+    if request.manage_power:
+        total += float(np.dot(solution.newly_activated(), activation))
+    return total

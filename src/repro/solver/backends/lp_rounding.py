@@ -1,0 +1,145 @@
+"""LP-relaxation + randomized-rounding backend.
+
+Promoted from the internals of the legacy ``lp-round`` solver strategy: solve
+the LP relaxation of the placement MILP once, and when it comes back
+fractional, round it. On top of the original deterministic round-and-repair
+pass this backend adds *randomized rounding*: each trial samples every
+application's server from its fractional assignment distribution, repairs
+capacity conflicts by falling back to the largest-fraction server that still
+fits, and the best feasible trial (by placed count, then augmented cost) wins.
+For assignment-like LPs the relaxation is integral most of the time, so the
+rounding machinery only runs on the genuinely fractional instances where a
+single deterministic rounding is weakest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model_builder import (
+    build_placement_model,
+    solution_from_values,
+    x_name,
+)
+from repro.core.solution import PlacementSolution
+from repro.solver.backend import DenseCosts, SolveRequest, solution_from_assignment
+from repro.solver.backend import bool_all
+from repro.solver.lp_relaxation import solve_lp_relaxation
+from repro.solver.registry import register_backend
+
+#: Rounding trials when the time budget does not cut them short.
+DEFAULT_TRIALS: int = 16
+
+#: Rounding budget when the request carries none.
+DEFAULT_ROUNDING_BUDGET_S: float = 5.0
+
+
+@register_backend("lp-round", aliases=("lp-rounding", "rounding"))
+@dataclass
+class LPRandomizedRoundingBackend:
+    """One LP relaxation followed by randomized rounding with repair."""
+
+    n_trials: int = DEFAULT_TRIALS
+    name: str = "lp-round"
+
+    def solve(self, request: SolveRequest) -> PlacementSolution | None:
+        problem = request.problem
+        model, report = build_placement_model(
+            problem, objective=request.objective, alpha=request.alpha,
+            report=request.report, manage_power=request.manage_power)
+        relaxed = solve_lp_relaxation(model)
+        if not relaxed.has_solution:
+            return None
+        if relaxed.is_integral(model.binary_names()):
+            placements, power_on = solution_from_values(problem, report, relaxed.values)
+            unplaced = [problem.applications[i].app_id for i in report.unplaceable]
+            return PlacementSolution(problem=problem, placements=placements,
+                                     power_on=power_on, unplaced=unplaced, solver_gap=0.0)
+        return self._round(request, relaxed.values)
+
+    # -- randomized rounding ----------------------------------------------------
+
+    def _round(self, request: SolveRequest,
+               values: dict[str, float]) -> PlacementSolution | None:
+        problem = request.problem
+        dense = request.dense()
+        fractions = self._fraction_matrix(request, values)
+        rng = np.random.default_rng(request.seed)
+        deadline = request.deadline(DEFAULT_ROUNDING_BUDGET_S)
+
+        best: np.ndarray | None = None
+        best_key: tuple[float, float] | None = None
+        for trial in range(self.n_trials):
+            if best is not None and time.monotonic() >= deadline:
+                break
+            # Trial 0 is deterministic (argmax fraction), the rest sample.
+            assignment = self._one_trial(dense, fractions, rng, sample=trial > 0)
+            placed = int((assignment >= 0).sum())
+            cost = self._augmented_cost(dense, assignment)
+            key = (-placed, cost)
+            if best_key is None or key < best_key:
+                best, best_key = assignment, key
+        if best is None:
+            return None
+        solution = solution_from_assignment(request, best)
+        solution.solver_gap = float("nan")  # rounded, bound unknown
+        return solution
+
+    def _fraction_matrix(self, request: SolveRequest,
+                         values: dict[str, float]) -> np.ndarray:
+        """(A, S) fractional assignment weights from the LP solution."""
+        problem = request.problem
+        fractions = np.zeros((problem.n_applications, problem.n_servers))
+        for i in range(problem.n_applications):
+            for j in request.report.candidates_for(i):
+                fractions[i, int(j)] = max(0.0, values.get(x_name(i, int(j)), 0.0))
+        return fractions
+
+    @staticmethod
+    def _one_trial(dense: DenseCosts, fractions: np.ndarray, rng: np.random.Generator,
+                   sample: bool) -> np.ndarray:
+        """One rounding pass: pick a server per application, repair capacity."""
+        n_apps, _ = dense.mask.shape
+        assignment = np.full(n_apps, -1, dtype=int)
+        capacity_left = dense.capacity.copy()
+        # Most fractional mass concentrated first: applications whose LP row is
+        # nearly integral are committed before genuinely contested ones.
+        order = sorted(range(n_apps), key=lambda i: -float(fractions[i].max(initial=0.0)))
+        for i in order:
+            weights = np.where(dense.mask[i], fractions[i], 0.0)
+            total = float(weights.sum())
+            if total <= 0.0:
+                continue
+            fits = dense.mask[i] & bool_all(dense.demand[i] <= capacity_left + 1e-9)
+            if not fits.any():
+                continue
+            j = -1
+            if sample:
+                pick = int(rng.choice(len(weights), p=weights / total))
+                if fits[pick]:
+                    j = pick
+            if j < 0:
+                # Deterministic repair: largest fraction among fitting servers,
+                # cost as tie-break.
+                ranked = np.where(fits, weights, -1.0)
+                j = int(np.lexsort((dense.cost[i], -ranked))[0])
+                if ranked[j] < 0.0:
+                    continue
+            assignment[i] = j
+            capacity_left[j] -= dense.demand[i, j]
+        return assignment
+
+    @staticmethod
+    def _augmented_cost(dense: DenseCosts, assignment: np.ndarray) -> float:
+        """Augmented objective of a trial (assignment cost + activations)."""
+        total = 0.0
+        served = np.zeros(dense.capacity.shape[0], dtype=int)
+        for i, j in enumerate(assignment):
+            if j >= 0:
+                total += float(dense.cost[i, int(j)])
+                served[int(j)] += 1
+        newly_on = (served > 0) & ~dense.initially_on
+        return total + float(dense.activation[newly_on].sum())

@@ -1,0 +1,14 @@
+"""Dependency-free solver-layer constants.
+
+These live in their own module (importing nothing from the rest of the
+package) so that both the backend registry and the policy layer can read them
+without creating an import cycle between :mod:`repro.solver` and
+:mod:`repro.core`.
+"""
+
+#: "auto" switches from the exact to the heuristic backend above this number
+#: of candidate (application, server) pairs.
+AUTO_EXACT_PAIR_LIMIT: int = 4000
+
+#: "auto" never picks the exact backend with less than this much budget (s).
+AUTO_MIN_EXACT_BUDGET_S: float = 1.0

@@ -1,0 +1,155 @@
+"""Tests for warm-started epoch re-solves (IncrementalPlacer.resolve_epoch and
+EdgeOrchestrator.reoptimize)."""
+
+import pytest
+
+from repro.core.incremental import IncrementalPlacer
+from repro.core.policies.carbon_edge import CarbonEdgePolicy
+from repro.core.validation import validate_solution
+from repro.network.latency import LatencyMatrix  # noqa: F401  (fixture types)
+from repro.orchestrator.orchestrator import EdgeOrchestrator
+from repro.orchestrator.deployment import DeploymentState
+
+from tests.conftest import make_apps
+
+
+@pytest.fixture
+def placer(central_eu_fleet, central_eu_latency, central_eu_carbon):
+    return IncrementalPlacer(fleet=central_eu_fleet, latency=central_eu_latency,
+                             carbon=central_eu_carbon, policy=CarbonEdgePolicy(),
+                             horizon_hours=24.0)
+
+
+def test_resolve_epoch_without_running_apps_is_noop(placer):
+    assert placer.resolve_epoch(hour=0) is None
+    assert placer.history == []
+
+
+def test_resolve_epoch_keeps_every_app_running(placer, central_eu_fleet):
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    first = placer.place_batch(apps, hour=0)
+    assert first.all_placed
+
+    resolved = placer.resolve_epoch(hour=12)
+    assert resolved is not None
+    validate_solution(resolved)
+    assert resolved.all_placed
+    assert set(resolved.placements) == set(first.placements)
+    # The re-solve round is recorded but not double-counted as new arrivals.
+    assert placer.history[-1].kind == "resolve"
+    assert placer.total_placed() == len(apps)
+    # Fleet allocations reflect the re-solved placement exactly.
+    allocated = {app_id for server in central_eu_fleet.servers()
+                 for app_id in server.allocations}
+    assert allocated == set(resolved.placements)
+
+
+def test_resolve_epoch_warm_start_never_worse_than_staying(placer, central_eu_fleet):
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    first = placer.place_batch(apps, hour=0)
+
+    resolved = placer.resolve_epoch(hour=12)
+    # Evaluate "keep the old placement" on the hour-12 problem: the re-solve
+    # was warm-started from it, so it can only be equal or better.
+    stay = resolved.problem.operational_carbon_g()
+    stay_carbon = sum(stay[resolved.problem.app_index(a), j]
+                      for a, j in first.placements.items())
+    assert resolved.operational_carbon_g() <= stay_carbon + 1e-9
+
+
+def test_orchestrator_reoptimize_migrates_and_rebinds(placer, central_eu_fleet):
+    orchestrator = EdgeOrchestrator(placer=placer)
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    orchestrator.deploy_batch(apps, hour=0)
+    before = {a: b.server_id for a, b in orchestrator.bindings.items()}
+    assert len(before) == len(apps)
+
+    moved = orchestrator.reoptimize(hour=12)
+    # Every app still has a RUNNING deployment and a binding that matches it.
+    for app in apps:
+        binding = orchestrator.binding_for(app.app_id)
+        deployment = orchestrator.deployments[f"dep-{app.app_id}"]
+        assert deployment.state is DeploymentState.RUNNING
+        assert deployment.server_id == binding.server_id
+    # The reported moves are exactly the bindings that changed.
+    after = {a: b.server_id for a, b in orchestrator.bindings.items()}
+    assert moved == {a: s for a, s in after.items() if before[a] != s}
+
+
+def test_reoptimize_with_nothing_deployed_returns_empty(placer):
+    orchestrator = EdgeOrchestrator(placer=placer)
+    assert orchestrator.reoptimize(hour=3) == {}
+
+
+def test_terminated_apps_are_not_resolved_again(placer, central_eu_fleet):
+    orchestrator = EdgeOrchestrator(placer=placer)
+    apps = make_apps(central_eu_fleet.sites())
+    orchestrator.deploy_batch(apps, hour=0)
+    victim = apps[0].app_id
+    orchestrator.terminate(victim)
+    assert victim not in placer.active_apps
+
+    resolved = placer.resolve_epoch(hour=6)
+    assert resolved is not None
+    assert victim not in resolved.placements
+    assert set(resolved.placements) == {a.app_id for a in apps[1:]}
+
+
+class _FailingPolicy(CarbonEdgePolicy):
+    """Policy whose solve always explodes (rollback-path test double)."""
+
+    def place(self, problem, warm_start=None):
+        raise RuntimeError("solver exploded")
+
+
+class _EvictingPolicy(CarbonEdgePolicy):
+    """Policy that drops one placed application (eviction-path test double)."""
+
+    def place(self, problem, warm_start=None):
+        solution = super().place(problem, warm_start=warm_start)
+        victim = sorted(solution.placements)[0]
+        del solution.placements[victim]
+        solution.unplaced.append(victim)
+        return solution
+
+
+def _allocation_map(fleet):
+    return {app_id: server.server_id for server in fleet.servers()
+            for app_id in server.allocations}
+
+
+def test_resolve_epoch_failure_restores_allocations(placer, central_eu_fleet):
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    placer.place_batch(apps, hour=0)
+    before = _allocation_map(central_eu_fleet)
+
+    placer.policy = _FailingPolicy()
+    with pytest.raises(RuntimeError, match="solver exploded"):
+        placer.resolve_epoch(hour=12)
+    # The fleet is exactly as it was, and a later re-solve still works.
+    assert _allocation_map(central_eu_fleet) == before
+    placer.policy = CarbonEdgePolicy()
+    resolved = placer.resolve_epoch(hour=12)
+    assert resolved is not None and resolved.all_placed
+
+
+def test_reoptimize_tears_down_evicted_apps(placer, central_eu_fleet):
+    orchestrator = EdgeOrchestrator(placer=placer)
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    orchestrator.deploy_batch(apps, hour=0)
+
+    placer.policy = _EvictingPolicy()
+    orchestrator.reoptimize(hour=12)
+    resolved = placer.history[-1].solution
+    assert len(resolved.unplaced) == 1
+    victim = resolved.unplaced[0]
+    # The evicted app holds no capacity, binding, running deployment, or
+    # active-apps entry any more.
+    assert victim not in _allocation_map(central_eu_fleet)
+    assert victim not in orchestrator.bindings
+    assert orchestrator.deployments[f"dep-{victim}"].state is DeploymentState.TERMINATED
+    assert victim not in placer.active_apps
+    # Everyone else is still consistently deployed.
+    for app_id in resolved.placements:
+        assert orchestrator.binding_for(app_id).server_id == \
+            orchestrator.deployments[f"dep-{app_id}"].server_id

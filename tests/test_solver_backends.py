@@ -1,0 +1,234 @@
+"""Tests for the pluggable solver-backend registry (repro.solver.registry)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.core.objective import ObjectiveKind
+from repro.core.policies.carbon_edge import CarbonEdgePolicy
+from repro.core.problem import PlacementProblem
+from repro.core.validation import validate_solution
+from repro.solver import registry
+from repro.solver.backend import SolveRequest, raw_objective_value
+from repro.solver.backends.heuristic import GreedyLocalSearchBackend
+
+
+# -- registry mechanics ---------------------------------------------------------
+
+def test_registry_module_importable_first():
+    # Importing the registry before anything else must not trip the
+    # solver<->core import cycle (external backend packages do exactly this).
+    import subprocess
+    import sys
+    result = subprocess.run(
+        [sys.executable, "-c",
+         "import repro.solver.registry as r; print(len(r.available_backends()))"],
+        capture_output=True, text=True)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip() == "4"
+
+
+def test_builtin_backends_are_registered():
+    names = registry.available_backends()
+    assert names == ("bnb", "greedy", "heuristic", "lp-round")
+    for name in names:
+        backend = registry.get_backend(name)
+        assert backend.name == name
+
+
+def test_aliases_resolve_to_canonical_backends():
+    assert registry.get_backend("exact").name == "bnb"
+    assert registry.get_backend("local-search").name == "heuristic"
+    assert registry.get_backend("lp-rounding").name == "lp-round"
+    assert "auto" in registry.backend_names()
+    assert "auto" not in registry.available_backends()
+
+
+def test_greedy_backend_is_construction_only():
+    greedy = registry.get_backend("greedy")
+    assert isinstance(greedy, GreedyLocalSearchBackend)
+    assert greedy.local_search is False
+    assert registry.get_backend("heuristic").local_search is True
+
+
+def test_unknown_backend_raises_with_available_names():
+    with pytest.raises(ValueError, match="bnb, greedy, heuristic, lp-round"):
+        registry.get_backend("quantum")
+    with pytest.raises(ValueError):
+        registry.get_backend("auto")  # a selection rule, not a backend
+
+
+def test_register_backend_rejects_duplicates():
+    with pytest.raises(ValueError):
+        registry.register_backend("heuristic")(GreedyLocalSearchBackend)
+    with pytest.raises(ValueError):
+        registry.register_backend("fresh-name", aliases=("exact",))(GreedyLocalSearchBackend)
+    assert "fresh-name" not in registry.available_backends()
+
+
+def test_custom_backend_registration_and_cleanup(central_eu_problem):
+    @registry.register_backend("nullsolver", aliases=("void",))
+    class NullBackend:
+        name = "nullsolver"
+
+        def solve(self, request):
+            return None  # always fails -> registry falls back to heuristic
+
+    try:
+        solution = registry.solve(central_eu_problem, backend="void")
+        validate_solution(solution)
+        assert solution.backend_name == "heuristic"  # graceful fallback
+        assert solution.all_placed
+    finally:
+        del registry._BACKENDS["nullsolver"]
+        del registry._ALIASES["void"]
+
+
+# -- cross-backend agreement -----------------------------------------------------
+
+def test_all_backends_feasible_and_within_tolerance(central_eu_problem):
+    solutions = {}
+    for backend in registry.available_backends():
+        solution = registry.solve(central_eu_problem, backend=backend)
+        validate_solution(solution)
+        assert solution.all_placed
+        solutions[backend] = solution
+    exact_carbon = solutions["bnb"].total_carbon_g()
+    for backend, solution in solutions.items():
+        # Heuristics stay within 5% of the exact objective on small instances
+        # and never beat it by more than numerical noise.
+        assert solution.total_carbon_g() >= exact_carbon - 1e-6, backend
+        assert solution.total_carbon_g() <= exact_carbon * 1.05 + 1e-9, backend
+
+
+def test_backends_agree_on_energy_objective(central_eu_problem):
+    values = {}
+    for backend in registry.available_backends():
+        solution = registry.solve(central_eu_problem, backend=backend,
+                                  objective=ObjectiveKind.ENERGY)
+        validate_solution(solution)
+        values[backend] = solution.total_energy_j()
+    assert values["heuristic"] <= values["bnb"] * 1.05 + 1e-9
+    assert values["lp-round"] <= values["bnb"] * 1.05 + 1e-9
+
+
+def test_auto_picks_exact_for_small_and_heuristic_under_tight_budget(central_eu_problem):
+    small = registry.solve(central_eu_problem, backend="auto")
+    assert small.backend_name == "bnb"
+    tight = registry.solve(central_eu_problem, backend="auto", time_budget_s=0.01)
+    assert tight.backend_name == "heuristic"
+    validate_solution(tight)
+    assert tight.all_placed
+
+
+# -- heuristic backend specifics --------------------------------------------------
+
+def _tight_problem(n_apps: int = 6, n_servers: int = 3) -> PlacementProblem:
+    """A capacity-tight instance: each server fits exactly two unit apps."""
+    from repro.workloads.application import Application
+
+    apps = [Application(app_id=f"a{i}", workload="ResNet50", source_site="s0",
+                        latency_slo_ms=100.0, request_rate_rps=1.0)
+            for i in range(n_apps)]
+    intensity = np.linspace(100.0, 300.0, n_servers)
+    latency = np.zeros((n_apps, n_servers))
+    energy = np.full((n_apps, n_servers), 3.6e6)  # 1 kWh per assignment
+    demands = [[ResourceVector.of(cpu_cores=1.0) for _ in range(n_servers)]
+               for _ in range(n_apps)]
+    capacities = [ResourceVector.of(cpu_cores=2.0) for _ in range(n_servers)]
+    servers = [_FakeServer(f"srv{j}") for j in range(n_servers)]
+    return PlacementProblem(
+        applications=apps, servers=servers, latency_ms=latency, energy_j=energy,
+        demands=demands, intensity=intensity, capacities=capacities,
+        base_power_w=np.full(n_servers, 100.0), current_power=np.zeros(n_servers),
+        horizon_hours=1.0)
+
+
+class _FakeServer:
+    """Minimal stand-in exposing the attributes the solver layer reads."""
+
+    def __init__(self, server_id: str):
+        self.server_id = server_id
+        self.site = "s0"
+        self.zone_id = "Z"
+
+    is_on = False
+
+
+def test_heuristic_respects_capacity_on_tight_instance():
+    problem = _tight_problem()
+    solution = registry.solve(problem, backend="heuristic")
+    validate_solution(solution)
+    assert solution.all_placed
+    counts = {}
+    for j in solution.placements.values():
+        counts[j] = counts.get(j, 0) + 1
+    assert all(c <= 2 for c in counts.values())  # capacity 2 per server
+    # 6 unit apps over capacity-2 servers require all 3 servers on.
+    assert float(np.sum(solution.power_on)) == 3.0
+
+
+def test_heuristic_prefers_green_servers_under_activation():
+    # 2 apps fit on one server: the heuristic should consolidate on the
+    # lowest-intensity server rather than activating several.
+    problem = _tight_problem(n_apps=2, n_servers=3)
+    solution = registry.solve(problem, backend="heuristic")
+    validate_solution(solution)
+    assert set(solution.placements.values()) == {0}  # intensity 100 server
+    assert float(np.sum(solution.power_on)) == 1.0
+
+
+def test_local_search_no_worse_than_pure_greedy(central_eu_problem):
+    request = SolveRequest(problem=central_eu_problem)
+    pure = GreedyLocalSearchBackend(local_search=False).solve(request)
+    improved = GreedyLocalSearchBackend().solve(request)
+    assert improved.n_placed >= pure.n_placed
+    assert raw_objective_value(request, improved) <= raw_objective_value(request, pure) + 1e-9
+
+
+def test_zero_time_budget_still_returns_feasible_solution(central_eu_problem):
+    for backend in registry.available_backends():
+        solution = registry.solve(central_eu_problem, backend=backend, time_budget_s=0.0)
+        validate_solution(solution)
+        assert solution.all_placed, backend
+
+
+def test_negative_time_budget_rejected(central_eu_problem):
+    with pytest.raises(ValueError):
+        registry.solve(central_eu_problem, time_budget_s=-1.0)
+
+
+# -- warm starts -------------------------------------------------------------------
+
+def test_warm_start_is_respected_and_improved(central_eu_problem):
+    cold = registry.solve(central_eu_problem, backend="heuristic")
+    warm = registry.solve(central_eu_problem, backend="heuristic",
+                          warm_start=dict(cold.placements))
+    validate_solution(warm)
+    assert warm.n_placed == cold.n_placed
+    assert warm.total_carbon_g() <= cold.total_carbon_g() + 1e-9
+
+
+def test_warm_start_ignores_stale_entries(central_eu_problem):
+    warm_start = {"no-such-app": 0, "another": 99999}
+    for app in central_eu_problem.applications[:2]:
+        warm_start[app.app_id] = 10**6  # out-of-range server index
+    solution = registry.solve(central_eu_problem, backend="heuristic",
+                              warm_start=warm_start)
+    validate_solution(solution)
+    assert solution.all_placed
+
+
+# -- policy integration ------------------------------------------------------------
+
+def test_policy_accepts_any_registered_backend_name(central_eu_problem):
+    for solver in ("heuristic", "bnb", "branch-and-bound", "rounding"):
+        solution = CarbonEdgePolicy(solver=solver).place(central_eu_problem)
+        validate_solution(solution)
+        assert solution.all_placed
+
+
+def test_policy_time_budget_flows_to_auto_selection(central_eu_problem):
+    solution = CarbonEdgePolicy(time_limit_s=0.05).place(central_eu_problem)
+    assert solution.backend_name == "heuristic"
+    validate_solution(solution)
