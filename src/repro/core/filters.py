@@ -53,11 +53,15 @@ def filter_feasible_servers(problem: PlacementProblem,
     """
     mask = problem.feasible_mask().copy()
     if check_capacity:
-        for i in range(problem.n_applications):
-            for j in np.flatnonzero(mask[i]):
-                demand = problem.demands[i][int(j)]
-                if not demand.fits_within(problem.capacities[int(j)]):
-                    mask[i, int(j)] = False
+        # Vectorised equivalent of demand.fits_within(capacity) per candidate
+        # pair: compare the dense (A, S, K) demand tensor against capacity with
+        # the same per-dimension slack. Pairs outside the mask have zero
+        # demand rows, so restricting afterwards gives identical results.
+        demand = problem.demand_dense()
+        capacity = problem.capacity_dense()
+        if demand.shape[-1]:
+            fits = np.all(demand <= capacity[None, :, :] + 1e-9, axis=-1)
+            mask &= fits
     unplaceable = [i for i in range(problem.n_applications) if not mask[i].any()]
     useful = sorted(set(np.flatnonzero(mask.any(axis=0)).tolist()))
     return FeasibilityReport(mask=mask, unplaceable=unplaceable, useful_servers=useful)

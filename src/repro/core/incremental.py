@@ -28,9 +28,14 @@ from repro.cluster.resources import ResourceVector
 from repro.core.policies.base import PlacementPolicy
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
+from typing import TYPE_CHECKING
+
 from repro.core.validation import validate_solution
 from repro.network.latency import LatencyMatrix
 from repro.workloads.application import Application
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->solver cycle
+    from repro.solver.compile import EpochCompilation
 
 
 @dataclass
@@ -78,6 +83,10 @@ class IncrementalPlacer:
     #: Applications committed through this placer, by id (the epoch re-solve
     #: needs the full Application objects to rebuild the problem).
     active_apps: dict[str, Application] = field(default_factory=dict)
+    #: The most recent epoch's compilation; the next re-solve's compilation
+    #: warm-starts from it (reusing e.g. the nearest-feasible-latency vector
+    #: when the application/server geometry is unchanged between epochs).
+    last_compilation: "EpochCompilation | None" = field(default=None, repr=False)
 
     def build_problem(self, applications: list[Application], hour: int) -> PlacementProblem:
         """Assemble the placement problem for one batch from current fleet state."""
@@ -96,7 +105,10 @@ class IncrementalPlacer:
         """Place one batch of applications and (optionally) commit it to the fleet."""
         if not applications:
             raise ValueError("place_batch requires at least one application")
+        from repro.solver.compile import compile_placement
+
         problem = self.build_problem(applications, hour)
+        self.last_compilation = compile_placement(problem, previous=self.last_compilation)
         solution = self.policy.timed_place(problem)
         if self.validate:
             validate_solution(solution, strict=True)
@@ -133,8 +145,15 @@ class IncrementalPlacer:
             for app_id in list(server.allocations):
                 if app_id in current:
                     freed[app_id] = server.release(app_id)
+        from repro.solver.compile import compile_placement
+
         try:
             problem = self.build_problem(apps, hour)
+            # Compile once up front, warm-started from the previous epoch's
+            # compilation; the policy's solver backends then share this
+            # instance instead of compiling their own.
+            self.last_compilation = compile_placement(problem,
+                                                      previous=self.last_compilation)
             server_index = {s.server_id: j for j, s in enumerate(problem.servers)}
             warm_start = {app_id: server_index[server_id]
                           for app_id, server_id in current.items()}

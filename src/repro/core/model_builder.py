@@ -27,7 +27,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.filters import FeasibilityReport, filter_feasible_servers
-from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.objective import (
+    ObjectiveKind,
+    apply_tie_break,
+    objective_coefficients,
+    tie_break_matrix,
+)
 from repro.core.problem import PlacementProblem
 from repro.solver.milp import MILPModel
 
@@ -77,14 +82,11 @@ def build_placement_model(
     model = MILPModel(name="carbon-edge-placement")
     assign_coeff, activation_coeff = objective_coefficients(problem, objective, alpha)
 
-    # Deterministic tie-break: among objective-equivalent placements prefer the
-    # lower-latency one (negligible weight relative to the real objective).
-    feasible_vals = assign_coeff[report.mask] if report.mask.any() else assign_coeff
-    scale = float(np.abs(feasible_vals).max()) if feasible_vals.size else 1.0
-    latency_scale = float(problem.latency_ms[report.mask].max()) if report.mask.any() else 1.0
-    if scale > 0 and latency_scale > 0:
-        epsilon = 1e-5 * scale / latency_scale
-        assign_coeff = assign_coeff + epsilon * np.where(report.mask, problem.latency_ms, 0.0)
+    # Deterministic tie-break shared with the dense backends (the rule and
+    # epsilon live in repro.core.objective), so every backend minimises the
+    # identical augmented objective.
+    assign_coeff = apply_tie_break(assign_coeff, report.mask,
+                                   tie_break_matrix(problem, objective))
 
     # Variables -------------------------------------------------------------
     for j in range(problem.n_servers):

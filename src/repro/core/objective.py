@@ -27,6 +27,7 @@ class ObjectiveKind(Enum):
     ENERGY = "energy"
     MULTI = "multi"
     LATENCY = "latency"
+    INTENSITY = "intensity"
 
 
 def carbon_objective_coefficients(problem: PlacementProblem) -> tuple[np.ndarray, np.ndarray]:
@@ -42,6 +43,17 @@ def energy_objective_coefficients(problem: PlacementProblem) -> tuple[np.ndarray
 def latency_objective_coefficients(problem: PlacementProblem) -> tuple[np.ndarray, np.ndarray]:
     """(A,S) assignment coefficients (one-way ms) and zero activation coefficients."""
     return problem.latency_ms.copy(), np.zeros(problem.n_servers)
+
+
+def intensity_objective_coefficients(problem: PlacementProblem) -> tuple[np.ndarray, np.ndarray]:
+    """(A,S) coefficients equal to the hosting zone's intensity Ī_j (Section 6.1.3).
+
+    The Intensity-aware baseline's objective: chase the greenest zone,
+    ignoring how much energy the application actually consumes there.
+    """
+    assignment = np.broadcast_to(problem.intensity[None, :],
+                                 (problem.n_applications, problem.n_servers)).copy()
+    return assignment, np.zeros(problem.n_servers)
 
 
 def _minmax_normalize(assignment: np.ndarray, activation: np.ndarray,
@@ -75,6 +87,38 @@ def multi_objective_coefficients(problem: PlacementProblem, alpha: float
     return assignment, activation
 
 
+def tie_break_matrix(problem: PlacementProblem, kind: ObjectiveKind) -> np.ndarray:
+    """(A,S) documented default tie-break matrix for an objective.
+
+    One-way latency for every objective except the latency objective itself
+    (greener-but-equidistant choices prefer proximity); the latency objective
+    tie-breaks by operational carbon so equal-latency choices stay stable
+    and prefer the greener server. The single source of this rule — the MILP
+    builder and the dense backends both consume it, so every backend
+    minimises the same augmented objective.
+    """
+    if kind is ObjectiveKind.LATENCY:
+        return problem.operational_carbon_g()
+    return problem.latency_ms
+
+
+def apply_tie_break(assign: np.ndarray, mask: np.ndarray,
+                    tie: np.ndarray) -> np.ndarray:
+    """``assign`` plus an epsilon perturbation of ``tie`` over the mask.
+
+    The epsilon is scaled so the perturbation never exceeds ``1e-5`` of the
+    largest feasible assignment cost — enough to order objective-equal
+    candidates deterministically, negligible against the real objective.
+    """
+    feasible_vals = assign[mask] if mask.any() else assign
+    scale = float(np.abs(feasible_vals).max()) if feasible_vals.size else 1.0
+    tie_scale = float(tie[mask].max()) if mask.any() else 1.0
+    if scale > 0 and tie_scale > 0:
+        epsilon = 1e-5 * scale / tie_scale
+        return assign + epsilon * np.where(mask, tie, 0.0)
+    return assign
+
+
 def objective_coefficients(problem: PlacementProblem, kind: ObjectiveKind,
                            alpha: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
     """Dispatch to the requested objective's coefficient builder."""
@@ -84,6 +128,8 @@ def objective_coefficients(problem: PlacementProblem, kind: ObjectiveKind,
         return energy_objective_coefficients(problem)
     if kind is ObjectiveKind.LATENCY:
         return latency_objective_coefficients(problem)
+    if kind is ObjectiveKind.INTENSITY:
+        return intensity_objective_coefficients(problem)
     if kind is ObjectiveKind.MULTI:
         return multi_objective_coefficients(problem, alpha)
     raise ValueError(f"unknown objective kind {kind!r}")

@@ -1,7 +1,7 @@
 """Placement policies: CarbonEdge and the paper's baselines (Section 6.1.3)."""
 
 from repro.core.policies.base import PlacementPolicy
-from repro.core.policies.greedy import GreedyCarbonPolicy, greedy_place
+from repro.core.policies.greedy import GreedyCarbonPolicy
 from repro.core.policies.carbon_edge import CarbonEdgePolicy
 from repro.core.policies.latency_aware import LatencyAwarePolicy
 from repro.core.policies.energy_aware import EnergyAwarePolicy
@@ -11,7 +11,6 @@ from repro.core.policies.random_policy import RandomPolicy
 __all__ = [
     "PlacementPolicy",
     "GreedyCarbonPolicy",
-    "greedy_place",
     "CarbonEdgePolicy",
     "LatencyAwarePolicy",
     "EnergyAwarePolicy",

@@ -1,109 +1,35 @@
-"""Greedy placement engine and the greedy carbon-aware policy.
+"""The greedy carbon-aware policy (CarbonEdge's scalable solver backend).
 
-The greedy engine assigns applications one at a time — most-constrained (fewest
-candidate servers) first — to the candidate server with the lowest *marginal*
-cost, where the marginal cost is the assignment coefficient plus the server's
-activation coefficient if the assignment would switch the server on. Capacity
-is tracked as assignments commit, so the result always satisfies Equations 1,
-3, 4, and 5 (Equation 2 is structural via the candidate mask).
+The actual greedy engine lives in :func:`repro.solver.compile.greedy_fill` —
+the one dense placement kernel shared by every policy and solver backend.
+This module keeps the policy face: minimise the marginal Equation-6 carbon of
+every assignment, one application at a time, most-constrained first. Used
+directly for CDN-scale problems and as the warm start / fallback of the exact
+CarbonEdge policy.
 
-The engine is objective-agnostic: CarbonEdge uses it with carbon coefficients
-as its scalable solver backend (and as a warm start for the exact solver), the
-Energy-aware baseline with energy coefficients, and the Latency-aware baseline
-with latency coefficients.
+The seed's object-based ``greedy_place`` engine that used to live here was
+consolidated into the dense kernel; ``tests/test_greedy_parity.py`` keeps a
+frozen copy as a regression oracle for one release.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.cluster.resources import ResourceVector
-from repro.core.filters import FeasibilityReport, filter_feasible_servers
-from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.objective import ObjectiveKind
 from repro.core.policies.base import PlacementPolicy
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
-
-
-def greedy_place(
-    problem: PlacementProblem,
-    assign_cost: np.ndarray,
-    activation_cost: np.ndarray,
-    report: FeasibilityReport | None = None,
-    tie_breaker: np.ndarray | None = None,
-) -> PlacementSolution:
-    """Greedily place applications minimising marginal cost.
-
-    Parameters
-    ----------
-    problem:
-        The placement problem.
-    assign_cost:
-        (A, S) cost of assigning application i to server j.
-    activation_cost:
-        (S,) extra cost incurred the first time a currently-off server is used.
-    report:
-        Optional pre-computed feasibility report.
-    tie_breaker:
-        Optional (A, S) secondary cost used to break ties (defaults to the
-        one-way latency, so greener-but-equidistant choices prefer proximity).
-    """
-    report = report or filter_feasible_servers(problem)
-    tie = problem.latency_ms if tie_breaker is None else np.asarray(tie_breaker, dtype=float)
-
-    remaining: list[ResourceVector] = [cap.copy() for cap in problem.capacities]
-    power_on = problem.current_power.copy()
-    placements: dict[str, int] = {}
-    unplaced: list[str] = []
-
-    # Most-constrained applications first; larger energy first among equals so
-    # heavy applications grab green capacity before it fills up.
-    order = sorted(
-        range(problem.n_applications),
-        key=lambda i: (int(report.mask[i].sum()), -float(problem.energy_j[i].max(initial=0.0))),
-    )
-
-    for i in order:
-        app = problem.applications[i]
-        candidates = report.candidates_for(i)
-        best_j, best_key = -1, None
-        for j in candidates:
-            j = int(j)
-            demand = problem.demands[i][j]
-            if not demand.fits_within(remaining[j]):
-                continue
-            marginal = float(assign_cost[i, j])
-            if power_on[j] < 0.5:
-                marginal += float(activation_cost[j])
-            key = (marginal, float(tie[i, j]))
-            if best_key is None or key < best_key:
-                best_key, best_j = key, j
-        if best_j < 0:
-            unplaced.append(app.app_id)
-            continue
-        placements[app.app_id] = best_j
-        remaining[best_j] = remaining[best_j] - problem.demands[i][best_j]
-        power_on[best_j] = 1.0
-
-    return PlacementSolution(problem=problem, placements=placements, power_on=power_on,
-                             unplaced=unplaced)
+from repro.solver import registry
 
 
 @dataclass
 class GreedyCarbonPolicy(PlacementPolicy):
-    """Greedy carbon-aware placement (CarbonEdge's scalable solver backend).
-
-    Minimises the marginal Equation-6 carbon of every assignment. Used directly
-    for CDN-scale problems and as the warm start / fallback of the exact
-    CarbonEdge policy.
-    """
+    """Greedy carbon-aware placement through the dense kernel."""
 
     name: str = "GreedyCarbon"
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:
-        report = filter_feasible_servers(problem)
-        assign, activation = objective_coefficients(problem, ObjectiveKind.CARBON)
-        return greedy_place(problem, assign, activation, report=report)
+        return registry.solve(problem, backend="greedy",
+                              objective=ObjectiveKind.CARBON, warm_start=warm_start)

@@ -5,19 +5,20 @@ data centers with the lowest carbon intensity values while respecting the
 latency and resource constraints". Unlike CarbonEdge it ignores how much energy
 the application actually consumes on each server — which is exactly the
 behaviour the heterogeneity experiment (Figure 15) punishes.
+
+Routed through the shared dense greedy kernel with the intensity objective;
+equal-intensity choices tie-break by one-way latency (the kernel default).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.filters import filter_feasible_servers
+from repro.core.objective import ObjectiveKind
 from repro.core.policies.base import PlacementPolicy
-from repro.core.policies.greedy import greedy_place
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
+from repro.solver import registry
 
 
 @dataclass
@@ -28,9 +29,5 @@ class IntensityAwarePolicy(PlacementPolicy):
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:
-        report = filter_feasible_servers(problem)
-        # Cost of an assignment is just the hosting zone's intensity.
-        assign_cost = np.broadcast_to(problem.intensity[None, :],
-                                      (problem.n_applications, problem.n_servers)).copy()
-        activation_cost = np.zeros(problem.n_servers)
-        return greedy_place(problem, assign_cost, activation_cost, report=report)
+        return registry.solve(problem, backend="greedy",
+                              objective=ObjectiveKind.INTENSITY, warm_start=warm_start)

@@ -4,19 +4,22 @@ This is the strategy "commonly employed in edge computing" that the paper
 compares against (Section 6.1.3, baseline 1): it minimises network latency with
 no regard for carbon or energy. It is also the reference against which carbon
 savings and latency increases are reported.
+
+Routed through the shared dense greedy kernel with the latency objective;
+equal-latency choices tie-break by operational carbon (see
+:meth:`repro.solver.compile.EpochCompilation.tie_break_for`) so comparisons
+stay stable across runs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.filters import filter_feasible_servers
+from repro.core.objective import ObjectiveKind
 from repro.core.policies.base import PlacementPolicy
-from repro.core.policies.greedy import greedy_place
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
+from repro.solver import registry
 
 
 @dataclass
@@ -27,10 +30,5 @@ class LatencyAwarePolicy(PlacementPolicy):
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:
-        report = filter_feasible_servers(problem)
-        assign_cost = problem.latency_ms.copy()
-        activation_cost = np.zeros(problem.n_servers)
-        # Tie-break equal-latency choices by carbon so comparisons are stable.
-        tie = problem.operational_carbon_g()
-        return greedy_place(problem, assign_cost, activation_cost, report=report,
-                            tie_breaker=tie)
+        return registry.solve(problem, backend="greedy",
+                              objective=ObjectiveKind.LATENCY, warm_start=warm_start)

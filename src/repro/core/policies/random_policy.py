@@ -9,11 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.filters import filter_feasible_servers
 from repro.core.policies.base import PlacementPolicy
-from repro.core.policies.greedy import greedy_place
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
 from repro.utils.rng import substream
@@ -28,11 +24,12 @@ class RandomPolicy(PlacementPolicy):
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:
-        report = filter_feasible_servers(problem)
+        # Imported lazily to avoid a core<->solver cycle on first import.
+        from repro.solver.compile import dense_greedy_solution
+
         rng = substream(self.seed, "random-policy", problem.n_applications,
                         problem.n_servers)
-        # Random assignment = greedy over random per-pair costs.
+        # Random assignment = the dense greedy kernel over random per-pair
+        # costs (no tie-break perturbation: the costs are already unique).
         assign_cost = rng.uniform(0.0, 1.0, size=(problem.n_applications, problem.n_servers))
-        activation_cost = np.zeros(problem.n_servers)
-        return greedy_place(problem, assign_cost, activation_cost, report=report,
-                            tie_breaker=assign_cost)
+        return dense_greedy_solution(problem, assign_cost)

@@ -22,9 +22,62 @@ from repro.cluster.server import EdgeServer
 from repro.network.latency import LatencyMatrix
 from repro.utils.units import joules_to_kwh
 from repro.workloads.application import Application
+from repro.workloads.profiles import get_profile
 
 #: Large latency assigned to (application, server) pairs with no usable profile.
 INFEASIBLE_LATENCY_MS: float = 1e9
+
+#: Shared empty demand for (application, server) pairs without a profile.
+_EMPTY_DEMAND = ResourceVector()
+
+#: Cross-epoch cache: (workload, accelerator name, cpu name) -> profile or None.
+#: Profiles are a fixed catalogue, so entries never go stale; the cache lets a
+#: year-long simulation resolve each (workload, device-class) pair exactly once.
+_PROFILE_CACHE: dict[tuple[str, str | None, str], object] = {}
+
+#: Cross-epoch cache: (workload, device key, request rate) -> shared demand
+#: vector (profile demand x replicas). ResourceVectors are treated as
+#: immutable throughout the solver stack, so sharing one instance per distinct
+#: demand is safe and avoids rebuilding ~A x S vectors every epoch.
+_DEMAND_CACHE: dict[tuple[str, str | None, str, float], ResourceVector] = {}
+
+#: Cap on either cache: the key space is tiny for catalogue workloads, but the
+#: request rate is an arbitrary float, so a long-running service fed
+#: continuously varying rates must not grow without bound. On overflow the
+#: cache is dropped wholesale (recomputation is cheap; this is a memo, not
+#: state).
+_CACHE_LIMIT: int = 16384
+
+
+def _resolve_profile(workload: str, accelerator_name: str | None, cpu_name: str):
+    """Profile for a workload on a device class (accelerator first, CPU fallback)."""
+    key = (workload, accelerator_name, cpu_name)
+    if key not in _PROFILE_CACHE:
+        profile = None
+        for device in ([accelerator_name] if accelerator_name else []) + [cpu_name]:
+            try:
+                profile = get_profile(workload, device)
+                break
+            except KeyError:
+                continue
+        if len(_PROFILE_CACHE) >= _CACHE_LIMIT:
+            _PROFILE_CACHE.clear()
+        _PROFILE_CACHE[key] = profile
+    return _PROFILE_CACHE[key]
+
+
+def _demand_for(workload: str, accelerator_name: str | None, cpu_name: str,
+                rate: float, profile) -> ResourceVector:
+    """Shared demand vector for a (workload, device class, request rate) triple."""
+    key = (workload, accelerator_name, cpu_name, rate)
+    vec = _DEMAND_CACHE.get(key)
+    if vec is None:
+        replicas = max(1, int(-(-rate // profile.max_request_rate())))
+        vec = profile.resource_demand * float(replicas)
+        if len(_DEMAND_CACHE) >= _CACHE_LIMIT:
+            _DEMAND_CACHE.clear()
+        _DEMAND_CACHE[key] = vec
+    return vec
 
 
 @dataclass
@@ -55,6 +108,21 @@ class PlacementProblem:
     horizon_hours: float = 1.0
     #: (A, S) support mask: True where the workload has a profile on the server.
     supported: np.ndarray | None = None
+    # -- lazily built caches (the problem is immutable once constructed) --------
+    _app_index_map: dict[str, int] | None = field(default=None, init=False,
+                                                  repr=False, compare=False)
+    _server_index_map: dict[str, int] | None = field(default=None, init=False,
+                                                     repr=False, compare=False)
+    _feasible_mask: np.ndarray | None = field(default=None, init=False,
+                                              repr=False, compare=False)
+    _nearest_feasible: np.ndarray | None = field(default=None, init=False,
+                                                 repr=False, compare=False)
+    #: (keys, capacity (S,K), demand (A,S,K)) dense resource tensors.
+    _dense_resources: tuple | None = field(default=None, init=False,
+                                           repr=False, compare=False)
+    #: Per-problem :class:`repro.solver.compile.EpochCompilation` memo.
+    _compilation: object | None = field(default=None, init=False,
+                                        repr=False, compare=False)
 
     def __post_init__(self) -> None:
         a, s = len(self.applications), len(self.servers)
@@ -104,10 +172,30 @@ class PlacementProblem:
 
         The latency constraint compares the *round-trip* network latency
         (2 × one-way) against each application's SLO, matching the paper's use
-        of round-trip limits in the evaluation.
+        of round-trip limits in the evaluation. The mask is computed once and
+        cached (problems are immutable once built); callers that want to edit
+        it must copy first, as :func:`repro.core.filters.filter_feasible_servers`
+        does.
         """
-        slos = np.array([app.latency_slo_ms for app in self.applications])[:, None]
-        return (2.0 * self.latency_ms <= slos + 1e-9) & self.supported
+        if self._feasible_mask is None:
+            slos = np.array([app.latency_slo_ms for app in self.applications])[:, None]
+            self._feasible_mask = (2.0 * self.latency_ms <= slos + 1e-9) & self.supported
+        return self._feasible_mask
+
+    def nearest_feasible_ms(self) -> np.ndarray:
+        """(A,) one-way latency to each application's nearest feasible server.
+
+        Feasibility is the latency-SLO + support mask (not the capacity
+        filter), matching the Latency-aware baseline's candidate set — this
+        is the baseline of the paper's "increased latency" metric.
+        Applications with no feasible server get ``+inf``; consumers must
+        count those out explicitly rather than folding them into means.
+        Computed once and cached.
+        """
+        if self._nearest_feasible is None:
+            self._nearest_feasible = np.where(self.feasible_mask(),
+                                              self.latency_ms, np.inf).min(axis=1)
+        return self._nearest_feasible
 
     def operational_carbon_g(self) -> np.ndarray:
         """(A, S) operational emissions x_ij would incur: E_ij (kWh) × Ī_j, grams."""
@@ -123,18 +211,89 @@ class PlacementProblem:
         return self.base_power_w * self.horizon_hours * 3600.0
 
     def app_index(self, app_id: str) -> int:
-        """Index of an application by id."""
-        for i, app in enumerate(self.applications):
-            if app.app_id == app_id:
-                return i
-        raise KeyError(f"unknown application {app_id!r}")
+        """Index of an application by id (O(1) via a lazily built map)."""
+        if self._app_index_map is None:
+            self._app_index_map = {app.app_id: i for i, app in enumerate(self.applications)}
+        try:
+            return self._app_index_map[app_id]
+        except KeyError:
+            raise KeyError(f"unknown application {app_id!r}") from None
+
+    def app_indices(self, app_ids: Sequence[str]) -> np.ndarray:
+        """(len(app_ids),) int array of application indices (vectorised lookup)."""
+        if self._app_index_map is None:
+            self._app_index_map = {app.app_id: i for i, app in enumerate(self.applications)}
+        index = self._app_index_map
+        try:
+            return np.fromiter((index[a] for a in app_ids), dtype=np.intp,
+                               count=len(app_ids))
+        except KeyError as exc:
+            raise KeyError(f"unknown application {exc.args[0]!r}") from None
 
     def server_index(self, server_id: str) -> int:
-        """Index of a server by id."""
-        for j, server in enumerate(self.servers):
-            if server.server_id == server_id:
-                return j
-        raise KeyError(f"unknown server {server_id!r}")
+        """Index of a server by id (O(1) via a lazily built map)."""
+        if self._server_index_map is None:
+            self._server_index_map = {s.server_id: j for j, s in enumerate(self.servers)}
+        try:
+            return self._server_index_map[server_id]
+        except KeyError:
+            raise KeyError(f"unknown server {server_id!r}") from None
+
+    # -- dense resource tensors ----------------------------------------------------
+
+    def resource_keys(self) -> tuple[str, ...]:
+        """Sorted resource dimensions spanning capacities and supported demands."""
+        return self._dense()[0]
+
+    def capacity_dense(self) -> np.ndarray:
+        """(S, K) available capacity per server over :meth:`resource_keys`."""
+        return self._dense()[1]
+
+    def demand_dense(self) -> np.ndarray:
+        """(A, S, K) per-pair resource demands over :meth:`resource_keys`.
+
+        Zero outside the support mask. Built once (vectorised construction
+        pre-fills it; problems assembled through the raw constructor fall back
+        to a loop deduplicated by demand-vector identity) and shared read-only
+        by the feasibility filter, the solver backends, and validation.
+        """
+        return self._dense()[2]
+
+    def _dense_frame(self, demand_key_sets) -> tuple[tuple[str, ...], np.ndarray]:
+        """(keys, (S, K) capacity array) spanning capacities + the given demand keys.
+
+        Shared by the block-wise pre-fill and the lazy fallback builder so
+        both always agree on the K axis.
+        """
+        key_set: set[str] = set()
+        for cap in self.capacities:
+            key_set.update(cap.keys())
+        for keys in demand_key_sets:
+            key_set.update(keys)
+        keys = tuple(sorted(key_set))
+        capacity = np.array([[cap.get(key) for key in keys] for cap in self.capacities],
+                            dtype=float).reshape(self.n_servers, len(keys))
+        return keys, capacity
+
+    def _dense(self) -> tuple[tuple[str, ...], np.ndarray, np.ndarray]:
+        if self._dense_resources is None:
+            a, s = self.n_applications, self.n_servers
+            unique: dict[int, ResourceVector] = {}
+            for row in self.demands:
+                for vec in row:
+                    unique.setdefault(id(vec), vec)
+            keys, capacity = self._dense_frame(
+                vec.keys() for vec in unique.values())
+            as_array = {vid: np.array([vec.get(key) for key in keys], dtype=float)
+                        for vid, vec in unique.items()}
+            demand = np.zeros((a, s, len(keys)))
+            for i, row in enumerate(self.demands):
+                for j, vec in enumerate(row):
+                    arr = as_array[id(vec)]
+                    if arr.any():
+                        demand[i, j] = arr
+            self._dense_resources = (keys, capacity, demand)
+        return self._dense_resources
 
     # -- construction ---------------------------------------------------------------
 
@@ -180,27 +339,49 @@ class PlacementProblem:
         if s == 0:
             raise ValueError("cannot build a placement problem with no servers")
 
-        latency_ms = np.zeros((a, s))
+        # Latency: one site-index gather instead of A x S matrix lookups.
+        app_rows = [latency.index_of(app.source_site) for app in applications]
+        server_cols = [latency.index_of(srv.site) for srv in servers]
+        latency_ms = latency.matrix_ms[np.ix_(app_rows, server_cols)].astype(float)
+
+        # Every per-pair quantity depends only on (workload, request rate) x
+        # (accelerator, CPU) — group both axes and fill whole blocks at once.
+        app_groups: dict[tuple[str, float], list[int]] = {}
+        for i, app in enumerate(applications):
+            app_groups.setdefault((app.workload, app.request_rate_rps), []).append(i)
+        server_classes: dict[tuple[str | None, str], list[int]] = {}
+        for j, server in enumerate(servers):
+            accel = server.accelerator.name if server.accelerator is not None else None
+            server_classes.setdefault((accel, server.cpu.name), []).append(j)
+
         energy_j = np.zeros((a, s))
         supported = np.zeros((a, s), dtype=bool)
-        demands: list[list[ResourceVector]] = []
-        for i, app in enumerate(applications):
-            row: list[ResourceVector] = []
-            for j, server in enumerate(servers):
-                latency_ms[i, j] = latency.one_way_ms(app.source_site, server.site)
-                if app.supports_server(server):
-                    supported[i, j] = True
-                    scaled = Application(
-                        app_id=app.app_id, workload=app.workload,
-                        source_site=app.source_site, latency_slo_ms=app.latency_slo_ms,
-                        request_rate_rps=app.request_rate_rps, duration_hours=horizon_hours)
-                    energy_j[i, j] = scaled.energy_on(server)
-                    row.append(app.resource_demand_on(server))
-                else:
-                    latency_ms[i, j] = INFEASIBLE_LATENCY_MS
-                    energy_j[i, j] = 0.0
-                    row.append(ResourceVector())
-            demands.append(row)
+        demand_rows: list[list[ResourceVector | None]] = [[None] * s for _ in range(a)]
+        blocks: list[tuple[list[int], list[int], ResourceVector]] = []
+        for (workload, rate), rows in app_groups.items():
+            rows_arr = np.asarray(rows, dtype=np.intp)
+            rates = np.full(len(rows), rate)
+            for (accel, cpu), cols in server_classes.items():
+                profile = _resolve_profile(workload, accel, cpu)
+                if profile is None:
+                    continue
+                cols_arr = np.asarray(cols, dtype=np.intp)
+                supported[np.ix_(rows_arr, cols_arr)] = True
+                # Same association order as the seed's scalar path
+                # (((energy/request x rate) x 3600) x horizon), so the values
+                # are bit-identical.
+                per_app = profile.energy_per_request_j * rates * 3600.0 * horizon_hours
+                energy_j[np.ix_(rows_arr, cols_arr)] = per_app[:, None]
+                vec = _demand_for(workload, accel, cpu, rate, profile)
+                blocks.append((rows, cols, vec))
+                for i in rows:
+                    row = demand_rows[i]
+                    for j in cols:
+                        row[j] = vec
+        demands: list[list[ResourceVector]] = [
+            [vec if vec is not None else _EMPTY_DEMAND for vec in row]
+            for row in demand_rows]
+        latency_ms[~supported] = INFEASIBLE_LATENCY_MS
 
         if use_forecast:
             intensity = np.array([
@@ -210,7 +391,7 @@ class PlacementProblem:
             intensity = np.array([carbon.current_intensity(srv.zone_id, hour)
                                   for srv in servers])
 
-        return cls(
+        problem = cls(
             applications=applications,
             servers=servers,
             latency_ms=latency_ms,
@@ -223,3 +404,18 @@ class PlacementProblem:
             horizon_hours=horizon_hours,
             supported=supported,
         )
+        problem._prefill_dense(blocks)
+        return problem
+
+    def _prefill_dense(self,
+                       blocks: list[tuple[list[int], list[int], ResourceVector]]) -> None:
+        """Fill the dense demand tensor from build()'s (rows, cols, demand) blocks.
+
+        The blocks are exactly the ones that populated ``demands``, so the
+        tensor and the nested list can never diverge.
+        """
+        keys, capacity = self._dense_frame(vec.keys() for _, _, vec in blocks)
+        demand = np.zeros((self.n_applications, self.n_servers, len(keys)))
+        for rows, cols, vec in blocks:
+            demand[np.ix_(rows, cols)] = np.array([vec.get(key) for key in keys])
+        self._dense_resources = (keys, capacity, demand)

@@ -113,6 +113,20 @@ class PlacementSolution:
 
     # -- metrics -------------------------------------------------------------------
 
+    def _placement_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """(P,) application and server index arrays over the placed applications.
+
+        Recomputed per call (the registry may extend ``placements`` after
+        construction); each lookup is O(1) through the problem's index map.
+        """
+        if not self.placements:
+            empty = np.zeros(0, dtype=np.intp)
+            return empty, empty
+        i_arr = self.problem.app_indices(list(self.placements))
+        j_arr = np.fromiter(self.placements.values(), dtype=np.intp,
+                            count=len(self.placements))
+        return i_arr, j_arr
+
     def newly_activated(self) -> np.ndarray:
         """(S,) indicator of servers switched on by this placement (y_j - y^curr_j)."""
         return np.clip(self.power_on - self.problem.current_power, 0.0, 1.0)
@@ -120,7 +134,8 @@ class PlacementSolution:
     def operational_carbon_g(self) -> float:
         """Total operational emissions of the placed applications, grams."""
         op = self.problem.operational_carbon_g()
-        return float(sum(op[self.problem.app_index(a), j] for a, j in self.placements.items()))
+        i_arr, j_arr = self._placement_arrays()
+        return float(sum(op[i_arr, j_arr].tolist()))
 
     def activation_carbon_g(self) -> float:
         """Emissions from newly activated servers' base power, grams."""
@@ -132,8 +147,8 @@ class PlacementSolution:
 
     def dynamic_energy_j(self) -> float:
         """Dynamic energy of the placed applications, joules."""
-        return float(sum(self.problem.energy_j[self.problem.app_index(a), j]
-                         for a, j in self.placements.items()))
+        i_arr, j_arr = self._placement_arrays()
+        return float(sum(self.problem.energy_j[i_arr, j_arr].tolist()))
 
     def activation_energy_j(self) -> float:
         """Base-power energy of newly activated servers over the horizon, joules."""
@@ -147,35 +162,36 @@ class PlacementSolution:
         """Mean one-way latency of the placed applications."""
         if not self.placements:
             return 0.0
-        lats = [self.problem.latency_ms[self.problem.app_index(a), j]
-                for a, j in self.placements.items()]
-        return float(np.mean(lats))
+        i_arr, j_arr = self._placement_arrays()
+        return float(np.mean(self.problem.latency_ms[i_arr, j_arr]))
 
     def max_latency_ms(self) -> float:
         """Worst-case one-way latency of the placed applications."""
         if not self.placements:
             return 0.0
-        lats = [self.problem.latency_ms[self.problem.app_index(a), j]
-                for a, j in self.placements.items()]
-        return float(np.max(lats))
+        i_arr, j_arr = self._placement_arrays()
+        return float(np.max(self.problem.latency_ms[i_arr, j_arr]))
 
     def latency_increase_ms(self) -> float:
         """Mean one-way latency increase vs. each application's nearest feasible server.
 
         This is the "Increased Latency" metric the paper reports (relative to
         the Latency-aware baseline, which always picks the nearest feasible
-        server).
+        server). An application with no feasible server at all cannot be
+        placed by the validated pipeline, so every placed application
+        normally has a finite nearest-server latency; should one appear
+        anyway, it is excluded from the mean (the same rule the CDN
+        simulator's metrics loop applies) rather than contributing its raw
+        latency.
         """
         if not self.placements:
             return 0.0
-        feasible = self.problem.feasible_mask()
-        increases = []
-        for app_id, j in self.placements.items():
-            i = self.problem.app_index(app_id)
-            row = np.where(feasible[i], self.problem.latency_ms[i], np.inf)
-            nearest = float(row.min()) if np.isfinite(row).any() else 0.0
-            increases.append(float(self.problem.latency_ms[i, j]) - nearest)
-        return float(np.mean(increases))
+        problem = self.problem
+        nearest = problem.nearest_feasible_ms()
+        i_arr, j_arr = self._placement_arrays()
+        reachable = np.isfinite(nearest[i_arr])
+        increases = (problem.latency_ms[i_arr, j_arr] - nearest[i_arr])[reachable]
+        return float(np.mean(increases)) if increases.size else 0.0
 
     def summary(self) -> dict[str, float]:
         """Compact metric summary used by the experiment reports."""

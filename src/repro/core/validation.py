@@ -51,26 +51,36 @@ def validate_solution(solution: PlacementSolution, strict: bool = True) -> list[
     if unknown:
         violations.append(f"placements for unknown applications: {sorted(unknown)}")
 
-    # Equation 2 (latency / support feasibility of every chosen pair).
-    for app_id, j in solution.placements.items():
-        if app_id not in all_ids:
-            continue  # already reported as an unknown placement above
-        i = problem.app_index(app_id)
-        if not feasible[i, j]:
-            violations.append(
-                f"{app_id} placed on {problem.servers[j].server_id} violating its latency SLO "
-                f"({2 * problem.latency_ms[i, j]:.2f} ms RTT > {problem.applications[i].latency_slo_ms} ms)")
+    # Known placements as index arrays so Equations 1 and 2 check in bulk.
+    known = [(app_id, j) for app_id, j in solution.placements.items() if app_id in all_ids]
+    if known:
+        i_arr = problem.app_indices([app_id for app_id, _ in known])
+        j_arr = np.fromiter((j for _, j in known), dtype=np.intp, count=len(known))
+    else:
+        i_arr = j_arr = np.zeros(0, dtype=np.intp)
 
-    # Equation 1: per-server capacity across every resource dimension.
-    for j, server in enumerate(problem.servers):
-        demand_total = ResourceVector()
-        for app_id, jj in solution.placements.items():
-            if jj != j or app_id not in all_ids:
-                continue
-            demand_total = demand_total + problem.demands[problem.app_index(app_id)][j]
-        if not demand_total.fits_within(problem.capacities[j]):
+    # Equation 2 (latency / support feasibility of every chosen pair).
+    for pos in np.flatnonzero(~feasible[i_arr, j_arr]):
+        app_id, j = known[int(pos)]
+        i = int(i_arr[pos])
+        violations.append(
+            f"{app_id} placed on {problem.servers[j].server_id} violating its latency SLO "
+            f"({2 * problem.latency_ms[i, j]:.2f} ms RTT > {problem.applications[i].latency_slo_ms} ms)")
+
+    # Equation 1: per-server capacity across every resource dimension, summed
+    # over the dense (A, S, K) demand tensor.
+    if known:
+        demand_dense = problem.demand_dense()
+        capacity_dense = problem.capacity_dense()
+        totals = np.zeros_like(capacity_dense)
+        np.add.at(totals, j_arr, demand_dense[i_arr, j_arr])
+        over = np.flatnonzero(np.any(totals > capacity_dense + 1e-9, axis=-1))
+        for j in over:
+            j = int(j)
+            demand_total = ResourceVector(
+                dict(zip(problem.resource_keys(), totals[j].tolist())))
             violations.append(
-                f"server {server.server_id} over capacity: demand {demand_total} "
+                f"server {problem.servers[j].server_id} over capacity: demand {demand_total} "
                 f"> available {problem.capacities[j]}")
 
     # Equation 5: assignments require powered-on servers.

@@ -42,6 +42,10 @@ def run(seed: int = EXPERIMENT_SEED, latency_limit_ms: float = 20.0,
                 result.hosting_intensity_distribution("Latency-aware"))),
             "load_intensity_p50_carbon_edge": float(np.median(
                 result.hosting_intensity_distribution("CarbonEdge"))),
+            # Placed apps with no feasible server to measure a latency
+            # increase against (excluded from the mean above, not folded in).
+            "nearest_unreachable": float(
+                result.total_nearest_unreachable("CarbonEdge")),
         }
     return {"results": results, "summary": summary}
 

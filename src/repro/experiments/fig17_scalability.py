@@ -114,6 +114,7 @@ def compare_backends(seed: int = EXPERIMENT_SEED,
     per-size speedup of the fastest backend relative to the slowest.
     """
     from repro.solver.backend import SolveRequest
+    from repro.solver.compile import clear_compilation
     from repro.solver.registry import get_backend
 
     rows: list[dict[str, object]] = []
@@ -121,10 +122,13 @@ def compare_backends(seed: int = EXPERIMENT_SEED,
         problem = _build_problem(n_servers, n_apps, seed)
         timings: dict[str, float] = {}
         for backend in backends:
-            # Fresh request per backend: nothing (feasibility report, dense
-            # arrays, deadline) is shared, so timings are self-contained. No
-            # tracemalloc either — its allocation-tracking overhead would
-            # distort exactly the timings the comparison reports.
+            # Fresh request per backend, and the problem's memoised epoch
+            # compilation is dropped so each backend pays for its own
+            # feasibility report and dense tensors — timings stay
+            # self-contained. No tracemalloc either — its allocation-tracking
+            # overhead would distort exactly the timings the comparison
+            # reports.
+            clear_compilation(problem)
             request = SolveRequest(problem=problem)
             start = time.monotonic()
             solution = get_backend(backend).solve(request)

@@ -26,6 +26,11 @@ class EpochRecord:
     #: Carbon intensity of the zone hosting each placed application (Ī at placement).
     hosting_intensities: list[float] = field(default_factory=list)
     solve_time_s: float = 0.0
+    #: Applications in this epoch's batch with no feasible server at all
+    #: (no latency-increase baseline exists for them; they also show up in
+    #: ``n_unplaced``). The count is a property of the epoch's problem, so it
+    #: is identical across the policies of one epoch.
+    n_nearest_unreachable: int = 0
 
 
 @dataclass
@@ -58,6 +63,8 @@ class SimulationResult:
     def mean_latency_increase_rtt_ms(self, policy: str) -> float:
         """Mean round-trip latency increase of a policy (placed-app weighted)."""
         records = self._of(policy)
+        # Unreachable apps are never placed, so n_placed is exactly the
+        # number of applications contributing to each epoch's mean.
         weights = np.array([r.n_placed for r in records], dtype=float)
         increases = np.array([r.latency_increase_one_way_ms for r in records])
         if weights.sum() == 0:
@@ -94,6 +101,10 @@ class SimulationResult:
     def total_unplaced(self, policy: str) -> int:
         """Total applications the policy could not place."""
         return int(sum(r.n_unplaced for r in self._of(policy)))
+
+    def total_nearest_unreachable(self, policy: str) -> int:
+        """Applications without any feasible server, summed over epochs."""
+        return int(sum(r.n_nearest_unreachable for r in self._of(policy)))
 
     def _of(self, policy: str) -> list[EpochRecord]:
         if policy not in self.records:

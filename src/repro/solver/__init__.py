@@ -17,9 +17,13 @@ layer in two tiers:
 
 **The placement-backend layer** (the production front door):
 
-* :mod:`repro.solver.backend` — the :class:`PlacementSolver` protocol,
-  :class:`SolveRequest`, and the dense cost arrays shared by vectorised
-  backends.
+* :mod:`repro.solver.compile` — the scenario compilation layer:
+  :class:`EpochCompilation` precomputes the feasibility report, per-objective
+  coefficient matrices, dense cost/demand tensors, and nearest-feasible
+  latencies once per problem, shared by every policy and backend; it also
+  hosts the single dense greedy kernel.
+* :mod:`repro.solver.backend` — the :class:`PlacementSolver` protocol and
+  :class:`SolveRequest` (a thin view over the compilation).
 * :mod:`repro.solver.registry` — backend registration and
   :func:`solve(problem, backend="auto", time_budget_s=...) <repro.solver.registry.solve>`.
 * :mod:`repro.solver.backends` — the built-in backends: ``bnb`` (exact branch
@@ -55,12 +59,19 @@ __all__ = [
     "backend_names",
     "PlacementSolver",
     "SolveRequest",
+    "EpochCompilation",
+    "DenseCosts",
+    "compile_placement",
+    "clear_compilation",
 ]
 
 _LAZY_REGISTRY_EXPORTS = {
     "solve", "get_backend", "register_backend", "available_backends", "backend_names",
 }
 _LAZY_BACKEND_EXPORTS = {"PlacementSolver", "SolveRequest"}
+_LAZY_COMPILE_EXPORTS = {
+    "EpochCompilation", "DenseCosts", "compile_placement", "clear_compilation",
+}
 
 
 def __getattr__(name: str):
@@ -70,4 +81,7 @@ def __getattr__(name: str):
     if name in _LAZY_BACKEND_EXPORTS:
         from repro.solver import backend
         return getattr(backend, name)
+    if name in _LAZY_COMPILE_EXPORTS:
+        from repro.solver import compile as compile_module
+        return getattr(compile_module, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -9,12 +9,14 @@ themselves with :func:`repro.solver.registry.register_backend`; callers go
 through :func:`repro.solver.registry.solve` and never instantiate backends
 directly.
 
-This module also provides the shared numeric substrate the vectorised
-backends build on: :class:`DenseCosts` precomputes the per-pair cost matrix
-(with the same deterministic latency tie-break the MILP builder applies),
-dense per-resource demand/capacity arrays, and activation costs, so the
-heuristic and rounding backends never touch per-pair Python objects in their
-hot loops.
+The shared numeric substrate (dense cost/demand tensors, the feasibility
+report, per-objective coefficients) lives in the scenario compilation layer
+(:mod:`repro.solver.compile`): a :class:`SolveRequest` is a thin view over
+the problem's memoised :class:`~repro.solver.compile.EpochCompilation`, so
+every backend — and every *policy* solving the same problem in the same
+epoch — reads one set of precomputed tensors instead of rebuilding its own.
+:class:`DenseCosts` and the assignment decoding helpers are re-exported here
+for backward compatibility.
 """
 
 from __future__ import annotations
@@ -25,10 +27,17 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
-from repro.core.filters import FeasibilityReport, filter_feasible_servers
-from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.filters import FeasibilityReport
+from repro.core.objective import ObjectiveKind
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
+from repro.solver.compile import (  # noqa: F401  (re-exported for compatibility)
+    DenseCosts,
+    EpochCompilation,
+    assignment_to_solution,
+    bool_all,
+    compile_placement,
+)
 
 
 @dataclass
@@ -68,9 +77,6 @@ class SolveRequest:
     max_nodes: int | None = None
     seed: int = 0
     started_at: float = field(default_factory=time.monotonic)
-    _report: FeasibilityReport | None = field(default=None, repr=False)
-    _coefficients: tuple[np.ndarray, np.ndarray] | None = field(default=None, repr=False)
-    _dense: "DenseCosts | None" = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -81,11 +87,14 @@ class SolveRequest:
             raise ValueError(f"max_nodes must be positive, got {self.max_nodes}")
 
     @property
+    def compilation(self) -> EpochCompilation:
+        """The problem's memoised epoch compilation (shared by every backend)."""
+        return compile_placement(self.problem)
+
+    @property
     def report(self) -> FeasibilityReport:
-        """Feasible-server report (computed once, shared by all backends)."""
-        if self._report is None:
-            self._report = filter_feasible_servers(self.problem)
-        return self._report
+        """Feasible-server report (computed once per problem, shared by all)."""
+        return self.compilation.report
 
     def coefficients(self) -> tuple[np.ndarray, np.ndarray]:
         """Raw (assignment, activation) objective coefficients for this request.
@@ -93,22 +102,15 @@ class SolveRequest:
         With ``manage_power=False`` the activation coefficients are zero — the
         objective ignores power state, matching the MILP builder's behaviour.
         """
-        if self._coefficients is None:
-            assign, activation = objective_coefficients(self.problem, self.objective, self.alpha)
-            if not self.manage_power:
-                activation = np.zeros_like(activation)
-            self._coefficients = (assign, activation)
-        return self._coefficients
+        assign, activation = self.compilation.coefficients(self.objective, self.alpha)
+        if not self.manage_power:
+            activation = np.zeros_like(activation)
+        return assign, activation
 
-    def dense(self) -> "DenseCosts":
-        """Dense cost/demand arrays (built once, shared by every backend).
-
-        The build walks every candidate pair in Python, so sharing it between
-        the requested backend and the heuristic baseline matters at scale.
-        """
-        if self._dense is None:
-            self._dense = DenseCosts.build(self)
-        return self._dense
+    def dense(self) -> DenseCosts:
+        """Dense cost/demand tensors (built once per problem, shared by every
+        backend and policy through the epoch compilation)."""
+        return self.compilation.dense(self.objective, self.alpha, self.manage_power)
 
     def remaining_s(self, default: float | None = None) -> float | None:
         """Seconds left in the budget (``default`` when no budget was set)."""
@@ -139,124 +141,10 @@ class PlacementSolver(Protocol):
         ...
 
 
-@dataclass
-class DenseCosts:
-    """Dense numpy view of a placement instance for the vectorised backends.
-
-    Attributes
-    ----------
-    keys:
-        Resource dimensions, the K axis of ``demand`` / ``capacity``.
-    demand:
-        (A, S, K) per-pair resource demands (zero outside the candidate mask).
-    capacity:
-        (S, K) available capacity per server.
-    mask:
-        (A, S) candidate mask from the feasibility report.
-    cost:
-        (A, S) assignment cost including the deterministic latency tie-break;
-        ``+inf`` outside the mask.
-    raw_assign:
-        (A, S) un-augmented assignment coefficients (for reporting).
-    activation:
-        (S,) activation cost of switching a server on (zero when power is
-        unmanaged).
-    initially_on:
-        (S,) bool, servers already on (all True when power is unmanaged).
-    """
-
-    keys: list[str]
-    demand: np.ndarray
-    capacity: np.ndarray
-    mask: np.ndarray
-    cost: np.ndarray
-    raw_assign: np.ndarray
-    activation: np.ndarray
-    initially_on: np.ndarray
-
-    @classmethod
-    def build(cls, request: SolveRequest) -> "DenseCosts":
-        """Precompute the dense arrays for one request."""
-        problem = request.problem
-        mask = request.report.mask
-        assign, activation = request.coefficients()
-
-        key_set: set[str] = set()
-        for cap in problem.capacities:
-            key_set.update(cap.keys())
-        a, s = problem.n_applications, problem.n_servers
-        for i in range(a):
-            for j in np.flatnonzero(mask[i]):
-                key_set.update(problem.demands[i][int(j)].keys())
-        keys = sorted(key_set)
-        k = len(keys)
-
-        capacity = np.array([[cap.get(key) for key in keys] for cap in problem.capacities],
-                            dtype=float).reshape(s, k)
-        demand = np.zeros((a, s, k))
-        for i in range(a):
-            for j in np.flatnonzero(mask[i]):
-                vec = problem.demands[i][int(j)]
-                for ki, key in enumerate(keys):
-                    demand[i, int(j), ki] = vec.get(key)
-
-        cost = cls._tie_broken(problem, assign, mask)
-        initially_on = (problem.current_power > 0.5) if request.manage_power \
-            else np.ones(s, dtype=bool)
-        return cls(keys=keys, demand=demand, capacity=capacity, mask=mask, cost=cost,
-                   raw_assign=assign, activation=np.asarray(activation, dtype=float),
-                   initially_on=initially_on)
-
-    @staticmethod
-    def _tie_broken(problem: PlacementProblem, assign: np.ndarray,
-                    mask: np.ndarray) -> np.ndarray:
-        """Assignment cost with the MILP builder's epsilon latency tie-break.
-
-        Using the identical perturbation keeps every backend minimising the
-        same augmented objective, so cross-backend comparisons are apples to
-        apples and objective-equivalent placements break ties the same way.
-        """
-        feasible_vals = assign[mask] if mask.any() else assign
-        scale = float(np.abs(feasible_vals).max()) if feasible_vals.size else 1.0
-        latency_scale = float(problem.latency_ms[mask].max()) if mask.any() else 1.0
-        cost = assign.astype(float, copy=True)
-        if scale > 0 and latency_scale > 0:
-            epsilon = 1e-5 * scale / latency_scale
-            cost = cost + epsilon * np.where(mask, problem.latency_ms, 0.0)
-        return np.where(mask, cost, np.inf)
-
-    def fits(self, i: int, capacity_left: np.ndarray) -> np.ndarray:
-        """(S,) bool: servers with room for application ``i`` given remaining capacity."""
-        return bool_all(self.demand[i] <= capacity_left + 1e-9)
-
-
-def bool_all(fits_per_key: np.ndarray) -> np.ndarray:
-    """All-dimensions reduction that tolerates a zero-width resource axis."""
-    if fits_per_key.shape[-1] == 0:
-        return np.ones(fits_per_key.shape[:-1], dtype=bool)
-    return np.all(fits_per_key, axis=-1)
-
-
 def solution_from_assignment(request: SolveRequest,
                              assignment: np.ndarray) -> PlacementSolution:
     """Decode an (A,) assignment vector (server index or -1) into a solution."""
-    problem = request.problem
-    placements: dict[str, int] = {}
-    unplaced: list[str] = []
-    for i, app in enumerate(problem.applications):
-        j = int(assignment[i])
-        if j >= 0:
-            placements[app.app_id] = j
-        else:
-            unplaced.append(app.app_id)
-    if request.manage_power:
-        power_on = problem.current_power.copy()
-        for j in set(placements.values()):
-            power_on[j] = 1.0
-    else:
-        power_on = np.ones(problem.n_servers)
-    return PlacementSolution(problem=problem, placements=placements,
-                             power_on=power_on, unplaced=unplaced)
+    return assignment_to_solution(request.problem, assignment, request.manage_power)
 
 
 def raw_objective_value(request: SolveRequest, solution: PlacementSolution) -> float:

@@ -1,13 +1,13 @@
 """Greedy construction + local-search heuristic backend.
 
-The workhorse for large instances and tight time budgets: a vectorised greedy
-construction (most-constrained application first, cheapest marginal-cost
-server, numpy scoring over whole server rows) followed by best-improvement
-relocation local search. The construction alone reproduces the classic greedy
-engine; the local-search phase closes most of the remaining gap to the exact
-solve by relocating applications whenever the move lowers the augmented
-objective — including the activation saving of emptying a server that the
-placement itself switched on.
+The workhorse for large instances and tight time budgets: the shared dense
+greedy kernel (:func:`repro.solver.compile.greedy_fill` — the one greedy
+engine in the tree, also backing the baseline policies) followed by
+best-improvement relocation local search. The construction alone is the
+``greedy`` backend; the local-search phase closes most of the remaining gap
+to the exact solve by relocating applications whenever the move lowers the
+augmented objective — including the activation saving of emptying a server
+that the placement itself switched on.
 
 The backend is deterministic (fixed iteration order, first-index argmin), so
 the registry can rely on it both as the fast path and as the fallback
@@ -25,12 +25,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.solution import PlacementSolution
-from repro.solver.backend import (
-    DenseCosts,
-    SolveRequest,
-    bool_all,
-    solution_from_assignment,
-)
+from repro.solver.backend import SolveRequest, solution_from_assignment
+from repro.solver.compile import DenseCosts, GreedyState, bool_all, greedy_fill
 from repro.solver.registry import register_backend
 
 #: Local-search wall-clock budget when the request carries none.
@@ -50,8 +46,7 @@ class GreedyLocalSearchBackend:
     max_passes:
         Maximum number of full local-search sweeps over the applications.
     local_search:
-        Disable to get the pure greedy construction (the ``greedy`` backend —
-        the like-for-like stand-in for the legacy greedy engine).
+        Disable to get the pure greedy construction (the ``greedy`` backend).
     """
 
     max_passes: int = 8
@@ -62,24 +57,26 @@ class GreedyLocalSearchBackend:
     needs_fallback: bool = False
 
     def solve(self, request: SolveRequest) -> PlacementSolution | None:
-        state = _State(request.dense())
+        state = GreedyState(request.dense())
         self._apply_warm_start(request, state)
-        self._greedy_fill(request, state)
+        greedy_fill(state, request.problem.energy_j)
         if self.local_search:
             self._improve(request, state)
         return solution_from_assignment(request, state.assignment)
 
     # -- construction ---------------------------------------------------------
 
-    def _apply_warm_start(self, request: SolveRequest, state: "_State") -> None:
+    def _apply_warm_start(self, request: SolveRequest, state: GreedyState) -> None:
         """Seed the assignment from a previous placement, skipping stale entries."""
         if not request.warm_start:
             return
         problem = request.problem
-        index = {app.app_id: i for i, app in enumerate(problem.applications)}
         for app_id, j in request.warm_start.items():
-            i = index.get(app_id)
-            if i is None or not 0 <= int(j) < problem.n_servers:
+            try:
+                i = problem.app_index(app_id)  # O(1), cached on the problem
+            except KeyError:
+                continue
+            if not 0 <= int(j) < problem.n_servers:
                 continue
             j = int(j)
             if not state.dense.mask[i, j] or state.assignment[i] >= 0:
@@ -88,33 +85,9 @@ class GreedyLocalSearchBackend:
                 continue
             state.place(i, j)
 
-    def _greedy_fill(self, request: SolveRequest, state: "_State") -> None:
-        """Place every unassigned application at its cheapest marginal-cost server.
-
-        NOTE: this is the dense twin of
-        :func:`repro.core.policies.greedy.greedy_place` (which still backs the
-        greedy baseline policies with arbitrary cost matrices) — changes to
-        the greedy rule must be applied to both until they are consolidated.
-        """
-        problem = request.problem
-        dense = state.dense
-        pending = [i for i in range(problem.n_applications) if state.assignment[i] < 0]
-        # Most-constrained first; heavier applications first among equals so
-        # they grab green capacity before it fills up (same rule the legacy
-        # greedy engine used).
-        pending.sort(key=lambda i: (int(dense.mask[i].sum()),
-                                    -float(problem.energy_j[i].max(initial=0.0))))
-        for i in pending:
-            feasible = dense.mask[i] & dense.fits(i, state.capacity_left)
-            if not feasible.any():
-                continue
-            marginal = dense.cost[i] + dense.activation * state.would_activate()
-            marginal = np.where(feasible, marginal, np.inf)
-            state.place(i, int(np.argmin(marginal)))
-
     # -- local search ----------------------------------------------------------
 
-    def _improve(self, request: SolveRequest, state: "_State") -> None:
+    def _improve(self, request: SolveRequest, state: GreedyState) -> None:
         """Best-improvement relocation sweeps until convergence or deadline."""
         deadline = request.deadline(DEFAULT_LOCAL_SEARCH_BUDGET_S)
         if time.monotonic() >= deadline:
@@ -131,7 +104,7 @@ class GreedyLocalSearchBackend:
             if not improved:
                 return
 
-    def _relocate(self, i: int, state: "_State", dense: DenseCosts) -> bool:
+    def _relocate(self, i: int, state: GreedyState, dense: DenseCosts) -> bool:
         """Move application ``i`` to the server with the best cost delta, if any."""
         j0 = int(state.assignment[i])
         feasible = dense.mask[i] & dense.fits(i, state.capacity_left)
@@ -163,40 +136,13 @@ class GreedyLocalSearchBackend:
 @register_backend("greedy")
 @dataclass
 class PureGreedyBackend(GreedyLocalSearchBackend):
-    """Construction-only variant: the legacy greedy engine's registry face.
+    """Construction-only variant: the dense greedy kernel's registry face.
 
-    Same ordering and marginal-cost rule as
-    :func:`repro.core.policies.greedy.greedy_place`, without the local-search
-    pass — so ``solver="greedy"`` keeps the seed's one-shot greedy cost
-    profile at CDN scale.
+    Same ordering and marginal-cost rule as the full heuristic, without the
+    local-search pass — so ``solver="greedy"`` keeps the one-shot greedy cost
+    profile at CDN scale. This is also the engine behind the Latency-,
+    Intensity-, and Energy-aware baseline policies.
     """
 
     local_search: bool = False
     name: str = "greedy"
-
-
-class _State:
-    """Mutable assignment state shared by the construction and search phases."""
-
-    def __init__(self, dense: DenseCosts) -> None:
-        self.dense = dense
-        n_apps, n_servers = dense.mask.shape
-        self.assignment = np.full(n_apps, -1, dtype=int)
-        self.capacity_left = dense.capacity.copy()
-        self.served = np.zeros(n_servers, dtype=int)
-
-    def would_activate(self) -> np.ndarray:
-        """(S,) bool: servers an assignment would newly switch on right now."""
-        return (self.served == 0) & ~self.dense.initially_on
-
-    def place(self, i: int, j: int) -> None:
-        """Commit application ``i`` to server ``j``."""
-        self.assignment[i] = j
-        self.capacity_left[j] -= self.dense.demand[i, j]
-        self.served[j] += 1
-
-    def move(self, i: int, j0: int, j1: int) -> None:
-        """Relocate application ``i`` from server ``j0`` to ``j1``."""
-        self.capacity_left[j0] += self.dense.demand[i, j0]
-        self.served[j0] -= 1
-        self.place(i, j1)

@@ -1,0 +1,367 @@
+"""Scenario compilation: one dense placement kernel shared across all policies.
+
+At CDN scale the same :class:`~repro.core.problem.PlacementProblem` is solved
+by four policies per epoch, and before this layer existed each of them
+independently re-derived the feasibility report, the objective coefficient
+matrices, and the dense cost/demand tensors. An :class:`EpochCompilation`
+precomputes all of that exactly once per problem and hands the read-only
+results to every consumer — the solver backends (through
+:class:`~repro.solver.backend.SolveRequest`), the baseline policies, and the
+CDN simulator's metrics loop:
+
+* the feasibility report (latency SLO + profile support + standalone capacity);
+* per-objective coefficient matrices (carbon / energy / latency / intensity,
+  plus the multi-objective blend), cached by ``(objective, alpha)``;
+* :class:`DenseCosts` tensors, cached by ``(objective, alpha, manage_power)``;
+* the epoch-mean carbon intensities Ī_j (the problem's ``intensity`` vector);
+* each application's nearest-feasible-server latency (the baseline for the
+  paper's "increased latency" metric).
+
+**Cache keys and invalidation.** The compilation is memoised on the problem
+instance (``compile_placement`` returns the same object for the same
+problem). Problems are immutable once built — each simulation epoch
+constructs a fresh problem from fleet state, which naturally invalidates
+everything. Code that mutates a problem in place (tests, mostly) must call
+:func:`clear_compilation` afterwards.
+
+**The one greedy kernel.** :func:`greedy_fill` is the single greedy placement
+engine in the tree: most-constrained application first (fewest candidate
+servers, larger maximum energy first among equals), each placed at the server
+minimising the marginal augmented cost (assignment cost plus the activation
+cost of switching a currently-off server on). Tie-breaking is by an epsilon
+perturbation of the cost matrix (see :meth:`DenseCosts.from_matrices`):
+objective-equal servers are ordered by the tie-break matrix — one-way latency
+for the carbon/energy/intensity objectives, operational carbon for the
+latency objective — and remaining exact ties resolve to the lowest server
+index. This replaces the seed's object-based ``greedy_place`` engine, whose
+lexicographic ``(cost, tie)`` rule it reproduces up to that epsilon
+(``tests/test_greedy_parity.py`` keeps the old engine as a regression
+oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.filters import FeasibilityReport, filter_feasible_servers
+from repro.core.objective import (
+    ObjectiveKind,
+    apply_tie_break,
+    objective_coefficients,
+    tie_break_matrix,
+)
+from repro.core.problem import PlacementProblem
+from repro.core.solution import PlacementSolution
+
+@dataclass
+class DenseCosts:
+    """Dense numpy view of a placement instance for the vectorised kernels.
+
+    Attributes
+    ----------
+    keys:
+        Resource dimensions, the K axis of ``demand`` / ``capacity``.
+    demand:
+        (A, S, K) per-pair resource demands (zero outside the support mask).
+    capacity:
+        (S, K) available capacity per server.
+    mask:
+        (A, S) candidate mask from the feasibility report.
+    cost:
+        (A, S) assignment cost including the deterministic epsilon tie-break;
+        ``+inf`` outside the mask.
+    raw_assign:
+        (A, S) un-augmented assignment coefficients (for reporting).
+    activation:
+        (S,) activation cost of switching a server on (zero when power is
+        unmanaged).
+    initially_on:
+        (S,) bool, servers already on (all True when power is unmanaged).
+    """
+
+    keys: list[str]
+    demand: np.ndarray
+    capacity: np.ndarray
+    mask: np.ndarray
+    cost: np.ndarray
+    raw_assign: np.ndarray
+    activation: np.ndarray
+    initially_on: np.ndarray
+
+    @classmethod
+    def from_matrices(
+        cls,
+        problem: PlacementProblem,
+        report: FeasibilityReport,
+        assign: np.ndarray,
+        activation: np.ndarray | None = None,
+        manage_power: bool = True,
+        tie_breaker: np.ndarray | None = None,
+    ) -> "DenseCosts":
+        """Assemble dense tensors for arbitrary assignment/activation costs.
+
+        The demand and capacity tensors are shared read-only with the problem
+        (built once per epoch); only the cost matrix is objective-specific.
+        ``tie_breaker`` is an optional (A, S) secondary cost: objective-equal
+        candidates order by it through an epsilon perturbation scaled so the
+        perturbation never exceeds ``1e-5`` of the largest feasible
+        assignment cost. ``None`` disables the perturbation (exact ties then
+        resolve to the lowest server index).
+        """
+        mask = report.mask
+        s = problem.n_servers
+        if activation is None:
+            activation = np.zeros(s)
+        cost = cls._tie_broken(assign, mask, tie_breaker)
+        initially_on = (problem.current_power > 0.5) if manage_power \
+            else np.ones(s, dtype=bool)
+        return cls(keys=list(problem.resource_keys()),
+                   demand=problem.demand_dense(),
+                   capacity=problem.capacity_dense(),
+                   mask=mask, cost=cost,
+                   raw_assign=assign, activation=np.asarray(activation, dtype=float),
+                   initially_on=initially_on)
+
+    @staticmethod
+    def _tie_broken(assign: np.ndarray, mask: np.ndarray,
+                    tie: np.ndarray | None) -> np.ndarray:
+        """Assignment cost with the epsilon tie-break perturbation.
+
+        The rule and epsilon live in :func:`repro.core.objective.apply_tie_break`
+        and are shared with the MILP builder, so every backend minimises the
+        same augmented objective and cross-backend comparisons are apples to
+        apples.
+        """
+        cost = assign.astype(float, copy=True)
+        if tie is not None:
+            cost = apply_tie_break(cost, mask, tie)
+        return np.where(mask, cost, np.inf)
+
+    def fits(self, i: int, capacity_left: np.ndarray) -> np.ndarray:
+        """(S,) bool: servers with room for application ``i`` given remaining capacity."""
+        return bool_all(self.demand[i] <= capacity_left + 1e-9)
+
+
+def bool_all(fits_per_key: np.ndarray) -> np.ndarray:
+    """All-dimensions reduction that tolerates a zero-width resource axis."""
+    if fits_per_key.shape[-1] == 0:
+        return np.ones(fits_per_key.shape[:-1], dtype=bool)
+    return np.all(fits_per_key, axis=-1)
+
+
+class GreedyState:
+    """Mutable assignment state shared by the construction and search phases."""
+
+    def __init__(self, dense: DenseCosts) -> None:
+        self.dense = dense
+        n_apps, n_servers = dense.mask.shape
+        self.assignment = np.full(n_apps, -1, dtype=int)
+        self.capacity_left = dense.capacity.copy()
+        self.served = np.zeros(n_servers, dtype=int)
+
+    def would_activate(self) -> np.ndarray:
+        """(S,) bool: servers an assignment would newly switch on right now."""
+        return (self.served == 0) & ~self.dense.initially_on
+
+    def place(self, i: int, j: int) -> None:
+        """Commit application ``i`` to server ``j``."""
+        self.assignment[i] = j
+        self.capacity_left[j] -= self.dense.demand[i, j]
+        self.served[j] += 1
+
+    def move(self, i: int, j0: int, j1: int) -> None:
+        """Relocate application ``i`` from server ``j0`` to ``j1``."""
+        self.capacity_left[j0] += self.dense.demand[i, j0]
+        self.served[j0] -= 1
+        self.place(i, j1)
+
+
+def greedy_fill(state: GreedyState, energy_j: np.ndarray) -> None:
+    """THE greedy placement kernel (every policy and backend routes here).
+
+    Places each still-unassigned application at its cheapest marginal-cost
+    server: most-constrained application first (fewest candidates, then
+    larger maximum energy so heavy applications grab green capacity before it
+    fills up), marginal cost = tie-broken assignment cost plus the activation
+    cost when the assignment would switch the server on. ``np.argmin`` picks
+    the lowest server index among exact ties.
+    """
+    dense = state.dense
+    pending = [i for i in range(len(state.assignment)) if state.assignment[i] < 0]
+    pending.sort(key=lambda i: (int(dense.mask[i].sum()),
+                                -float(energy_j[i].max(initial=0.0))))
+    for i in pending:
+        feasible = dense.mask[i] & dense.fits(i, state.capacity_left)
+        if not feasible.any():
+            continue
+        marginal = dense.cost[i] + dense.activation * state.would_activate()
+        marginal = np.where(feasible, marginal, np.inf)
+        state.place(i, int(np.argmin(marginal)))
+
+
+def assignment_to_solution(problem: PlacementProblem, assignment: np.ndarray,
+                           manage_power: bool = True) -> PlacementSolution:
+    """Decode an (A,) assignment vector (server index or -1) into a solution."""
+    placements: dict[str, int] = {}
+    unplaced: list[str] = []
+    for i, app in enumerate(problem.applications):
+        j = int(assignment[i])
+        if j >= 0:
+            placements[app.app_id] = j
+        else:
+            unplaced.append(app.app_id)
+    if manage_power:
+        power_on = problem.current_power.copy()
+        for j in set(placements.values()):
+            power_on[j] = 1.0
+    else:
+        power_on = np.ones(problem.n_servers)
+    return PlacementSolution(problem=problem, placements=placements,
+                             power_on=power_on, unplaced=unplaced)
+
+
+def dense_greedy_solution(
+    problem: PlacementProblem,
+    assign: np.ndarray,
+    activation: np.ndarray | None = None,
+    tie_breaker: np.ndarray | None = None,
+) -> PlacementSolution:
+    """One-shot greedy placement for an arbitrary cost matrix.
+
+    Used by policies whose objective is not one of the registered
+    :class:`ObjectiveKind` coefficient builders (e.g. the Random baseline's
+    sampled costs). Shares the compiled feasibility report and resource
+    tensors; only the cost matrix is built fresh.
+    """
+    compilation = compile_placement(problem)
+    dense = DenseCosts.from_matrices(problem, compilation.report, assign,
+                                     activation, tie_breaker=tie_breaker)
+    state = GreedyState(dense)
+    greedy_fill(state, problem.energy_j)
+    return assignment_to_solution(problem, state.assignment)
+
+
+@dataclass
+class EpochCompilation:
+    """Everything an epoch's policies share, computed once per problem.
+
+    All attributes are lazy: the first consumer pays for a tensor, every
+    later consumer reads the cache. The object must be treated as read-only.
+    """
+
+    problem: PlacementProblem
+    _report: FeasibilityReport | None = field(default=None, repr=False)
+    _coefficients: dict = field(default_factory=dict, repr=False)
+    _dense: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def report(self) -> FeasibilityReport:
+        """Feasibility report (latency SLO + profile support + capacity filter)."""
+        if self._report is None:
+            self._report = filter_feasible_servers(self.problem)
+        return self._report
+
+    @property
+    def epoch_mean_intensity(self) -> np.ndarray:
+        """(S,) epoch-mean (forecast-average) carbon intensities Ī_j."""
+        return self.problem.intensity
+
+    @property
+    def nearest_feasible_ms(self) -> np.ndarray:
+        """(A,) one-way latency to each application's nearest feasible server.
+
+        Delegates to :meth:`PlacementProblem.nearest_feasible_ms` — the single
+        cached vector that also backs
+        :meth:`PlacementSolution.latency_increase_ms`, so the simulator's
+        metrics and per-solution accounting always agree.
+        """
+        return self.problem.nearest_feasible_ms()
+
+    @property
+    def n_nearest_unreachable(self) -> int:
+        """Applications with no feasible server at all (``nearest`` is +inf)."""
+        return int(np.isinf(self.nearest_feasible_ms).sum())
+
+    def coefficients(self, objective: ObjectiveKind,
+                     alpha: float = 0.0) -> tuple[np.ndarray, np.ndarray]:
+        """(assign, activation) objective coefficients, cached per (kind, alpha)."""
+        key = (objective, float(alpha))
+        if key not in self._coefficients:
+            self._coefficients[key] = objective_coefficients(self.problem, objective, alpha)
+        return self._coefficients[key]
+
+    def tie_break_for(self, objective: ObjectiveKind) -> np.ndarray:
+        """Documented default tie-break matrix for an objective.
+
+        Delegates to :func:`repro.core.objective.tie_break_matrix`, the
+        single source of the rule shared with the MILP builder.
+        """
+        return tie_break_matrix(self.problem, objective)
+
+    def dense(self, objective: ObjectiveKind = ObjectiveKind.CARBON,
+              alpha: float = 0.0, manage_power: bool = True) -> DenseCosts:
+        """Dense cost tensors for an objective, cached per (kind, alpha, power)."""
+        key = (objective, float(alpha), bool(manage_power))
+        if key not in self._dense:
+            assign, activation = self.coefficients(objective, alpha)
+            if not manage_power:
+                activation = np.zeros_like(activation)
+            self._dense[key] = DenseCosts.from_matrices(
+                self.problem, self.report, assign, activation,
+                manage_power=manage_power, tie_breaker=self.tie_break_for(objective))
+        return self._dense[key]
+
+
+def compile_placement(problem: PlacementProblem,
+                      previous: EpochCompilation | None = None) -> EpochCompilation:
+    """The (memoised) compilation of a placement problem.
+
+    Returns the same :class:`EpochCompilation` for repeated calls on the same
+    problem instance — this is how the four policies, the solver registry,
+    and the simulator's metrics loop end up sharing one set of tensors.
+
+    ``previous`` enables warm-started epoch re-solves
+    (:meth:`repro.core.incremental.IncrementalPlacer.resolve_epoch`): when the
+    new problem covers the same applications and servers with an unchanged
+    latency matrix, the previous epoch's nearest-feasible-server latencies
+    are carried over instead of recomputed. Objective coefficients and the
+    feasibility report are never carried over — intensities and capacities
+    move between epochs.
+    """
+    compilation = getattr(problem, "_compilation", None)
+    if compilation is None:
+        compilation = EpochCompilation(problem=problem)
+        if previous is not None and _layout_unchanged(problem, previous.problem):
+            problem._nearest_feasible = previous.problem._nearest_feasible
+        problem._compilation = compilation
+    return compilation
+
+
+def clear_compilation(problem: PlacementProblem) -> None:
+    """Drop every cache derived from a problem's arrays.
+
+    Call after mutating a problem in place (so nothing solves against stale
+    tensors), or to time an uncompiled solve fairly. Clears the memoised
+    :class:`EpochCompilation` *and* the problem-level caches it builds on
+    (feasibility mask, dense resource tensors, id index maps).
+    """
+    problem._compilation = None
+    problem._feasible_mask = None
+    problem._nearest_feasible = None
+    problem._dense_resources = None
+    problem._app_index_map = None
+    problem._server_index_map = None
+
+
+def _layout_unchanged(new: PlacementProblem, old: PlacementProblem) -> bool:
+    """Same apps, servers, SLOs, and latencies — the nearest-server geometry."""
+    if new.n_applications != old.n_applications or new.n_servers != old.n_servers:
+        return False
+    if any(a is not b for a, b in zip(new.applications, old.applications)):
+        return False
+    if any(a is not b for a, b in zip(new.servers, old.servers)):
+        return False
+    return np.array_equal(new.latency_ms, old.latency_ms) and \
+        np.array_equal(new.supported, old.supported)

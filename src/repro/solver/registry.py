@@ -28,7 +28,7 @@ complete by construction and skip the baseline.
 from __future__ import annotations
 
 import time
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 import numpy as np
 
@@ -36,8 +36,11 @@ from repro.cluster.resources import ResourceVector
 from repro.core.objective import ObjectiveKind
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
-from repro.solver.backend import PlacementSolver, SolveRequest, raw_objective_value
 from repro.solver.config import AUTO_EXACT_PAIR_LIMIT, AUTO_MIN_EXACT_BUDGET_S
+
+if TYPE_CHECKING:  # imported lazily at runtime: backend -> compile -> core ->
+    # policies -> registry would otherwise cycle on first import
+    from repro.solver.backend import PlacementSolver, SolveRequest
 
 _BACKENDS: dict[str, Callable[[], PlacementSolver]] = {}
 _ALIASES: dict[str, str] = {}
@@ -163,6 +166,8 @@ def solve(
         Always a solution (empty when nothing is placeable); its
         ``backend_name`` records which backend actually produced it.
     """
+    from repro.solver.backend import SolveRequest
+
     start = time.monotonic()
     request = SolveRequest(problem=problem, objective=objective, alpha=alpha,
                            manage_power=manage_power, time_budget_s=time_budget_s,
@@ -239,6 +244,8 @@ def _fill_missing(request: SolveRequest, primary: PlacementSolution,
 def _better(request: SolveRequest, primary: PlacementSolution,
             baseline: PlacementSolution) -> PlacementSolution:
     """The better of two solutions: more placements, then lower raw objective."""
+    from repro.solver.backend import raw_objective_value
+
     if baseline.n_placed > primary.n_placed:
         return baseline
     if baseline.n_placed == primary.n_placed and \

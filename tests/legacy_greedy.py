@@ -1,0 +1,141 @@
+"""Frozen copies of the seed's object-based placement engine (regression oracle).
+
+This module preserves, verbatim, two pieces of the pre-compilation pipeline so
+the parity tests and the pipeline benchmark can compare the unified dense
+kernel against exactly what the seed shipped:
+
+* :func:`legacy_greedy_place` — the object-based greedy engine that used to
+  live in ``repro.core.policies.greedy.greedy_place`` and backed the
+  Latency-/Intensity-/Random baselines;
+* :func:`legacy_build_problem` — the per-pair Python loop that used to be the
+  body of ``PlacementProblem.build``.
+
+It is test-only scaffolding, kept for one release while the dense kernel
+soaks; the production tree has exactly one greedy engine
+(``repro.solver.compile.greedy_fill``). Do not import this from ``src/``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.carbon.service import CarbonIntensityService
+from repro.cluster.resources import ResourceVector
+from repro.cluster.server import EdgeServer
+from repro.core.filters import FeasibilityReport, filter_feasible_servers
+from repro.core.problem import INFEASIBLE_LATENCY_MS, PlacementProblem
+from repro.core.solution import PlacementSolution
+from repro.network.latency import LatencyMatrix
+from repro.workloads.application import Application
+
+
+def legacy_greedy_place(
+    problem: PlacementProblem,
+    assign_cost: np.ndarray,
+    activation_cost: np.ndarray,
+    report: FeasibilityReport | None = None,
+    tie_breaker: np.ndarray | None = None,
+) -> PlacementSolution:
+    """The seed's greedy engine: most-constrained first, lexicographic tie-break."""
+    report = report or filter_feasible_servers(problem)
+    tie = problem.latency_ms if tie_breaker is None else np.asarray(tie_breaker, dtype=float)
+
+    remaining: list[ResourceVector] = [cap.copy() for cap in problem.capacities]
+    power_on = problem.current_power.copy()
+    placements: dict[str, int] = {}
+    unplaced: list[str] = []
+
+    order = sorted(
+        range(problem.n_applications),
+        key=lambda i: (int(report.mask[i].sum()), -float(problem.energy_j[i].max(initial=0.0))),
+    )
+
+    for i in order:
+        app = problem.applications[i]
+        candidates = report.candidates_for(i)
+        best_j, best_key = -1, None
+        for j in candidates:
+            j = int(j)
+            demand = problem.demands[i][j]
+            if not demand.fits_within(remaining[j]):
+                continue
+            marginal = float(assign_cost[i, j])
+            if power_on[j] < 0.5:
+                marginal += float(activation_cost[j])
+            key = (marginal, float(tie[i, j]))
+            if best_key is None or key < best_key:
+                best_key, best_j = key, j
+        if best_j < 0:
+            unplaced.append(app.app_id)
+            continue
+        placements[app.app_id] = best_j
+        remaining[best_j] = remaining[best_j] - problem.demands[i][best_j]
+        power_on[best_j] = 1.0
+
+    return PlacementSolution(problem=problem, placements=placements, power_on=power_on,
+                             unplaced=unplaced)
+
+
+def legacy_build_problem(
+    applications: Sequence[Application],
+    servers: Sequence[EdgeServer],
+    latency: LatencyMatrix,
+    carbon: CarbonIntensityService,
+    hour: int = 0,
+    horizon_hours: float = 1.0,
+    use_forecast: bool = True,
+) -> PlacementProblem:
+    """The seed's ``PlacementProblem.build``: one Python loop per candidate pair."""
+    applications = list(applications)
+    servers = list(servers)
+    a, s = len(applications), len(servers)
+    if a == 0:
+        raise ValueError("cannot build a placement problem with no applications")
+    if s == 0:
+        raise ValueError("cannot build a placement problem with no servers")
+
+    latency_ms = np.zeros((a, s))
+    energy_j = np.zeros((a, s))
+    supported = np.zeros((a, s), dtype=bool)
+    demands: list[list[ResourceVector]] = []
+    for i, app in enumerate(applications):
+        row: list[ResourceVector] = []
+        for j, server in enumerate(servers):
+            latency_ms[i, j] = latency.one_way_ms(app.source_site, server.site)
+            if app.supports_server(server):
+                supported[i, j] = True
+                scaled = Application(
+                    app_id=app.app_id, workload=app.workload,
+                    source_site=app.source_site, latency_slo_ms=app.latency_slo_ms,
+                    request_rate_rps=app.request_rate_rps, duration_hours=horizon_hours)
+                energy_j[i, j] = scaled.energy_on(server)
+                row.append(app.resource_demand_on(server))
+            else:
+                latency_ms[i, j] = INFEASIBLE_LATENCY_MS
+                energy_j[i, j] = 0.0
+                row.append(ResourceVector())
+        demands.append(row)
+
+    if use_forecast:
+        intensity = np.array([
+            carbon.forecast_mean(srv.zone_id, hour, int(np.ceil(horizon_hours)))
+            for srv in servers])
+    else:
+        intensity = np.array([carbon.current_intensity(srv.zone_id, hour)
+                              for srv in servers])
+
+    return PlacementProblem(
+        applications=applications,
+        servers=servers,
+        latency_ms=latency_ms,
+        energy_j=energy_j,
+        demands=demands,
+        intensity=intensity,
+        capacities=[srv.available_capacity for srv in servers],
+        base_power_w=np.array([srv.base_power_w for srv in servers]),
+        current_power=np.array([1.0 if srv.is_on else 0.0 for srv in servers]),
+        horizon_hours=horizon_hours,
+        supported=supported,
+    )

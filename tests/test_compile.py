@@ -1,0 +1,158 @@
+"""Tests for the scenario compilation layer (repro.solver.compile)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objective import ObjectiveKind
+from repro.core.policies import (
+    CarbonEdgePolicy,
+    IntensityAwarePolicy,
+    LatencyAwarePolicy,
+)
+from repro.solver.backend import SolveRequest
+from repro.solver.compile import clear_compilation, compile_placement
+
+
+def test_compilation_is_memoised_per_problem(central_eu_problem):
+    a = compile_placement(central_eu_problem)
+    b = compile_placement(central_eu_problem)
+    assert a is b
+    clear_compilation(central_eu_problem)
+    c = compile_placement(central_eu_problem)
+    assert c is not a
+
+
+def test_solve_requests_share_the_problem_compilation(central_eu_problem):
+    compilation = compile_placement(central_eu_problem)
+    r1 = SolveRequest(problem=central_eu_problem)
+    r2 = SolveRequest(problem=central_eu_problem, objective=ObjectiveKind.ENERGY)
+    assert r1.compilation is compilation
+    assert r1.report is r2.report  # one feasibility report per epoch
+    assert r1.dense() is compilation.dense(ObjectiveKind.CARBON)
+    # Different objectives get different (cached) cost tensors.
+    assert r1.dense() is not r2.dense()
+    assert r2.dense() is compilation.dense(ObjectiveKind.ENERGY)
+
+
+def test_dense_tensors_cached_per_objective_and_power_mode(central_eu_problem):
+    compilation = compile_placement(central_eu_problem)
+    managed = compilation.dense(ObjectiveKind.CARBON, manage_power=True)
+    unmanaged = compilation.dense(ObjectiveKind.CARBON, manage_power=False)
+    assert managed is not unmanaged
+    assert unmanaged.initially_on.all()
+    assert not np.any(unmanaged.activation)
+    assert managed is compilation.dense(ObjectiveKind.CARBON, manage_power=True)
+    # The demand/capacity tensors are shared across every dense view.
+    assert managed.demand is unmanaged.demand
+    assert managed.capacity is unmanaged.capacity
+
+
+def test_nearest_feasible_latencies(central_eu_problem):
+    compilation = compile_placement(central_eu_problem)
+    nearest = compilation.nearest_feasible_ms
+    problem = central_eu_problem
+    expected = np.where(problem.feasible_mask(), problem.latency_ms, np.inf).min(axis=1)
+    assert np.array_equal(nearest, expected)
+    assert compilation.n_nearest_unreachable == int(np.isinf(expected).sum())
+    assert np.array_equal(compilation.epoch_mean_intensity, problem.intensity)
+
+
+def test_policies_reuse_one_compilation(central_eu_problem):
+    compilation = compile_placement(central_eu_problem)
+    for policy in (LatencyAwarePolicy(), IntensityAwarePolicy(),
+                   CarbonEdgePolicy(solver="greedy")):
+        policy.place(central_eu_problem)
+    # All three objectives were compiled into the same shared object.
+    kinds = {key[0] for key in compilation._dense}
+    assert {ObjectiveKind.LATENCY, ObjectiveKind.INTENSITY,
+            ObjectiveKind.CARBON} <= kinds
+
+
+def test_unreachable_apps_are_counted(central_eu_fleet, central_eu_latency,
+                                      central_eu_carbon):
+    from repro.core.problem import PlacementProblem
+    from tests.conftest import make_apps
+
+    apps = make_apps(["Bern"], workload="UnknownNet") + make_apps(["Lyon"])
+    problem = PlacementProblem.build(apps, central_eu_fleet.servers(),
+                                     central_eu_latency, central_eu_carbon, hour=0)
+    compilation = compile_placement(problem)
+    assert compilation.n_nearest_unreachable == 1
+    assert np.isinf(compilation.nearest_feasible_ms[0])
+    assert np.isfinite(compilation.nearest_feasible_ms[1])
+
+
+def test_clear_compilation_invalidates_problem_caches(central_eu_problem):
+    problem = central_eu_problem
+    compile_placement(problem).report  # populate every cache
+    stale_mask = problem.feasible_mask()
+    # Mutate in place (tests only; production builds a fresh problem per
+    # epoch) and invalidate per the documented contract.
+    problem.latency_ms = np.full_like(problem.latency_ms, 1e9)
+    clear_compilation(problem)
+    fresh_mask = problem.feasible_mask()
+    assert fresh_mask is not stale_mask
+    assert not fresh_mask.any()
+
+
+def test_problem_dense_resource_tensors(central_eu_problem):
+    problem = central_eu_problem
+    keys = problem.resource_keys()
+    demand = problem.demand_dense()
+    capacity = problem.capacity_dense()
+    assert demand.shape == (problem.n_applications, problem.n_servers, len(keys))
+    assert capacity.shape == (problem.n_servers, len(keys))
+    for j, cap in enumerate(problem.capacities):
+        for ki, key in enumerate(keys):
+            assert capacity[j, ki] == cap.get(key)
+    for i in range(problem.n_applications):
+        for j in range(problem.n_servers):
+            vec = problem.demands[i][j]
+            for ki, key in enumerate(keys):
+                assert demand[i, j, ki] == vec.get(key)
+
+
+def test_app_indices_vectorised_lookup(central_eu_problem):
+    problem = central_eu_problem
+    ids = [app.app_id for app in problem.applications][::-1]
+    idx = problem.app_indices(ids)
+    assert idx.tolist() == list(range(problem.n_applications))[::-1]
+    with pytest.raises(KeyError, match="unknown application"):
+        problem.app_indices(["nope"])
+
+
+def test_forecast_mean_is_memoised(central_eu_carbon):
+    service = central_eu_carbon
+    service.clear_forecast_cache()
+    zone = service.zones()[0]
+    first = service.forecast_mean(zone, 0, 24)
+    assert len(service._forecast_cache) == 1
+    assert service.forecast_mean(zone, 0, 24) == first
+    assert len(service._forecast_cache) == 1
+    # A different epoch window is a different cache entry.
+    service.forecast_mean(zone, 24, 24)
+    assert len(service._forecast_cache) == 2
+    # Swapping the forecaster never serves a stale mean.
+    from repro.carbon.forecasting import PersistenceForecaster
+    service.forecaster = PersistenceForecaster()
+    persisted = service.forecast_mean(zone, 0, 24)
+    assert persisted == pytest.approx(service.current_intensity(zone, 0))
+
+
+def test_incremental_placer_records_compilation(central_eu_fleet, central_eu_latency,
+                                                central_eu_carbon):
+    from repro.core.incremental import IncrementalPlacer
+    from tests.conftest import make_apps
+
+    placer = IncrementalPlacer(fleet=central_eu_fleet, latency=central_eu_latency,
+                               carbon=central_eu_carbon,
+                               policy=CarbonEdgePolicy(solver="greedy"))
+    placer.release_all()
+    apps = make_apps(central_eu_fleet.sites())
+    placer.place_batch(apps, hour=0)
+    assert placer.last_compilation is not None
+    first = placer.last_compilation
+    resolved = placer.resolve_epoch(hour=1)
+    assert resolved is not None
+    assert placer.last_compilation is not first
+    placer.release_all()

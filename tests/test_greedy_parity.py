@@ -1,0 +1,148 @@
+"""Parity: the unified dense greedy kernel vs. the seed's object-based engine.
+
+The seed shipped two greedy engines (``repro.core.policies.greedy.greedy_place``
+and the dense ``_greedy_fill`` in the heuristic backend); this PR consolidated
+them into :func:`repro.solver.compile.greedy_fill`. ``tests/legacy_greedy.py``
+keeps a frozen copy of the old engine as a regression oracle for one release;
+these tests pin the equivalence:
+
+* on instances whose cost gaps exceed the kernel's epsilon tie-break
+  perturbation, placements are **identical**;
+* on arbitrary instances, the objective value matches up to the documented
+  tie-break tolerance (the perturbation never exceeds ``1e-5`` of the largest
+  feasible assignment cost per application).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.resources import ResourceVector
+from repro.core.filters import filter_feasible_servers
+from repro.core.objective import ObjectiveKind, objective_coefficients
+from repro.core.problem import PlacementProblem
+from repro.core.validation import validate_solution
+from repro.solver.compile import (
+    DenseCosts,
+    GreedyState,
+    assignment_to_solution,
+    compile_placement,
+    greedy_fill,
+)
+from tests.legacy_greedy import legacy_greedy_place
+
+
+class _StubServer:
+    """Minimal stand-in exposing the attributes the solver layer reads."""
+
+    def __init__(self, server_id: str):
+        self.server_id = server_id
+        self.site = "s0"
+        self.zone_id = "Z"
+
+    is_on = False
+
+
+def _random_problem(seed: int, n_apps: int = 14, n_servers: int = 6,
+                    integer_costs: bool = True) -> tuple[PlacementProblem, np.ndarray,
+                                                         np.ndarray, np.ndarray]:
+    """A seeded random instance plus (assign, activation, tie) cost matrices.
+
+    With ``integer_costs`` the cost gaps are at least 1 while the epsilon
+    perturbation stays below 1e-2, so the two engines cannot legitimately
+    diverge.
+    """
+    from repro.workloads.application import Application
+
+    rng = np.random.default_rng(seed)
+    apps = [Application(app_id=f"a{i}", workload="ResNet50", source_site="s0",
+                        latency_slo_ms=float(rng.integers(20, 200)),
+                        request_rate_rps=float(rng.integers(1, 30)))
+            for i in range(n_apps)]
+    latency = rng.integers(0, 60, size=(n_apps, n_servers)).astype(float)
+    energy = rng.integers(1, 50, size=(n_apps, n_servers)).astype(float) * 1e5
+    demands = [[ResourceVector.of(cpu_cores=float(rng.integers(1, 3)),
+                                  memory_mb=256.0)
+                for _ in range(n_servers)] for _ in range(n_apps)]
+    capacities = [ResourceVector.of(cpu_cores=float(rng.integers(3, 8)),
+                                    memory_mb=8192.0) for _ in range(n_servers)]
+    problem = PlacementProblem(
+        applications=apps, servers=[_StubServer(f"srv{j}") for j in range(n_servers)],
+        latency_ms=latency, energy_j=energy, demands=demands,
+        intensity=rng.integers(20, 500, size=n_servers).astype(float),
+        capacities=capacities,
+        base_power_w=rng.integers(50, 200, size=n_servers).astype(float),
+        current_power=(rng.random(n_servers) < 0.5).astype(float),
+        horizon_hours=1.0)
+    if integer_costs:
+        assign = rng.integers(0, 1000, size=(n_apps, n_servers)).astype(float)
+        tie = rng.integers(0, 100, size=(n_apps, n_servers)).astype(float)
+    else:
+        assign = rng.random((n_apps, n_servers)) * 1000.0
+        tie = rng.random((n_apps, n_servers)) * 100.0
+    activation = rng.integers(0, 200, size=n_servers).astype(float)
+    return problem, assign, activation, tie
+
+
+def _dense_greedy(problem, assign, activation, tie):
+    report = compile_placement(problem).report
+    dense = DenseCosts.from_matrices(problem, report, assign, activation,
+                                     tie_breaker=tie)
+    state = GreedyState(dense)
+    greedy_fill(state, problem.energy_j)
+    return assignment_to_solution(problem, state.assignment)
+
+
+def _augmented_objective(problem, solution, assign, activation):
+    total = sum(float(assign[problem.app_index(a), j])
+                for a, j in solution.placements.items())
+    return total + float(np.dot(solution.newly_activated(), activation))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_dense_kernel_matches_legacy_engine_exactly_on_separated_costs(seed):
+    problem, assign, activation, tie = _random_problem(seed, integer_costs=True)
+    legacy = legacy_greedy_place(problem, assign, activation, tie_breaker=tie)
+    dense = _dense_greedy(problem, assign, activation, tie)
+    assert validate_solution(dense) == []
+    assert dense.placements == legacy.placements
+    assert dense.unplaced == legacy.unplaced
+    assert np.array_equal(dense.power_on, legacy.power_on)
+
+
+@pytest.mark.parametrize("seed", range(6, 10))
+def test_dense_kernel_within_tie_break_tolerance_on_continuous_costs(seed):
+    problem, assign, activation, tie = _random_problem(seed, integer_costs=False)
+    legacy = legacy_greedy_place(problem, assign, activation, tie_breaker=tie)
+    dense = _dense_greedy(problem, assign, activation, tie)
+    assert validate_solution(dense) == []
+    assert dense.n_placed == legacy.n_placed
+    # Documented tie-break: the epsilon perturbation can only reorder servers
+    # whose cost gap is below 1e-5 of the largest feasible assignment cost.
+    tolerance = 1e-5 * float(np.abs(assign).max()) * problem.n_applications
+    legacy_obj = _augmented_objective(problem, legacy, assign, activation)
+    dense_obj = _augmented_objective(problem, dense, assign, activation)
+    assert dense_obj <= legacy_obj + tolerance
+
+
+@pytest.mark.parametrize("kind", [ObjectiveKind.CARBON, ObjectiveKind.ENERGY,
+                                  ObjectiveKind.LATENCY, ObjectiveKind.INTENSITY])
+def test_registry_greedy_matches_legacy_engine_on_real_problem(central_eu_problem, kind):
+    """Every baseline objective: registry kernel vs. the seed engine."""
+    from repro.solver import registry
+
+    problem = central_eu_problem
+    assign, activation = objective_coefficients(problem, kind)
+    report = filter_feasible_servers(problem)
+    # The seed's baselines used latency as the default tie-break; the
+    # Latency-aware baseline tie-broke by operational carbon.
+    tie = problem.operational_carbon_g() if kind is ObjectiveKind.LATENCY \
+        else problem.latency_ms
+    legacy = legacy_greedy_place(problem, assign, activation, report=report,
+                                 tie_breaker=tie)
+    unified = registry.solve(problem, backend="greedy", objective=kind)
+    assert validate_solution(unified) == []
+    assert unified.n_placed == legacy.n_placed
+    legacy_obj = _augmented_objective(problem, legacy, assign, activation)
+    unified_obj = _augmented_objective(problem, unified, assign, activation)
+    scale = max(1.0, float(np.abs(assign).max()))
+    assert abs(unified_obj - legacy_obj) <= 1e-5 * scale * problem.n_applications
