@@ -1,26 +1,20 @@
-"""Benchmark: the compiled epoch pipeline vs. the seed pipeline on fig11 scenarios.
+"""Benchmark: the compiled CDN epoch pipeline on fig11 scenarios.
 
-Two measurements on identical scenarios:
+Earlier revisions raced the compiled pipeline against an emulation of the
+pre-compilation seed pipeline (frozen in ``tests/legacy_greedy.py``); that
+oracle was kept for one release and has been retired, so the benchmark now
+tracks the compiled pipeline's absolute wall-clock instead. Each run appends a
+record to ``BENCH_cdn_pipeline.json`` (repo root) so the timing trajectory
+stays visible across PRs — the historical records with ``seed_s``/``speedup``
+fields document the original 3–8x compiled-vs-seed gain.
 
-* **compiled** — the current :func:`repro.simulator.cdn.run_cdn_simulation`:
-  one vectorised problem build and one :class:`EpochCompilation` per epoch,
-  shared by all four policies and the metrics loop.
-* **seed** — a faithful emulation of the pre-compilation pipeline using the
-  frozen engines in ``tests/legacy_greedy.py``: the per-pair Python problem
-  build, the object-based greedy engine for the Latency-/Intensity-aware
-  baselines, per-policy recomputation of the feasibility report and dense
-  tensors (the memoised compilation is explicitly cleared between policies),
-  and the per-placement Python metrics loop. The emulation still benefits
-  from unrelated speedups (O(1) index maps, vectorised validation, the
-  forecast cache), so the measured speedup *understates* the real gain over
-  the seed.
+Two checks remain load-bearing:
 
-The benchmark asserts the tentpole bar — compiled >= SPEEDUP_BAR x seed — and
-that the exact backend produces bit-identical objective values on problems
-built by the two pipelines. Each run appends a record to
-``BENCH_cdn_pipeline.json`` (repo root) so the speedup trajectory is tracked
-across PRs. Set ``CDN_PIPELINE_BENCH_SCALE=smoke`` (CI) for a reduced-scale
-run with a correspondingly relaxed bar.
+* the paper's orderings hold at benchmark scale (CarbonEdge saves carbon on
+  every continent), and
+* the exact backend is bit-deterministic: re-solving the same epoch problem
+  after dropping its memoised compilation reproduces identical placements and
+  objective values.
 """
 
 from __future__ import annotations
@@ -30,26 +24,21 @@ import os
 import time
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.objective import ObjectiveKind
 from repro.core.policies.carbon_edge import CarbonEdgePolicy
 from repro.core.validation import validate_solution
 from repro.simulator.cdn import CDNSimulator
 from repro.simulator.scenario import CDNScenario
-from repro.solver import registry
 from repro.solver.compile import clear_compilation
-from tests.legacy_greedy import legacy_build_problem, legacy_greedy_place
 
-#: Where the speedup trajectory is appended (repo root).
+#: Where the timing trajectory is appended (repo root).
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_cdn_pipeline.json"
 
 _SMOKE = os.environ.get("CDN_PIPELINE_BENCH_SCALE", "").lower() == "smoke"
 
-#: Required compiled-vs-seed speedup. The tentpole bar is 3x at fig11 default
-#: sizes; the CI smoke scale is small enough that constant overheads bite, so
-#: it acts as a coarser regression tripwire.
-SPEEDUP_BAR = 2.0 if _SMOKE else 3.0
+#: Coarse absolute regression tripwire for the compiled pipeline, seconds.
+#: Generous enough for slow CI machines; the trajectory artifact is the
+#: fine-grained signal.
+TIME_CEILING_S = 30.0 if _SMOKE else 120.0
 
 #: Fig11 defaults: 12 epochs over the year, every CDN site of the continent.
 SCENARIO_KWARGS = dict(
@@ -58,61 +47,6 @@ SCENARIO_KWARGS = dict(
     seed=0,
 )
 CONTINENTS = ("EU",) if _SMOKE else ("US", "EU")
-
-
-def _seed_pipeline_run(simulator: CDNSimulator) -> dict[str, float]:
-    """Emulate the seed's CDNSimulator.run epoch loop; returns carbon totals."""
-    scenario = simulator.scenario
-    totals: dict[str, float] = {}
-    for epoch in range(scenario.n_epochs):
-        start_hour = scenario.epoch_start_hour(epoch)
-        batch = simulator.generator.generate_batch(epoch, start_hour)
-        simulator.fleet.reset_allocations()
-        for server in simulator.fleet.servers():
-            server.power_on()
-        problem = legacy_build_problem(
-            list(batch.applications), simulator.fleet.servers(), simulator.latency,
-            simulator.carbon, hour=start_hour,
-            horizon_hours=float(scenario.hours_per_epoch))
-        feasible = problem.feasible_mask()
-        nearest = np.where(feasible, problem.latency_ms, np.inf).min(axis=1)
-        for name, solve in (
-            ("Latency-aware", _seed_latency_aware),
-            ("Energy-aware", _seed_registry_greedy(ObjectiveKind.ENERGY)),
-            ("Intensity-aware", _seed_intensity_aware),
-            ("CarbonEdge", _seed_registry_greedy(ObjectiveKind.CARBON)),
-        ):
-            clear_compilation(problem)  # the seed shared nothing across policies
-            solution = solve(problem)
-            validate_solution(solution, strict=True)
-            # Seed metrics loop: one Python iteration per placed application.
-            placed_latencies = []
-            hosting_intensities = []
-            for app_id, j in solution.placements.items():
-                i = problem.app_index(app_id)
-                placed_latencies.append(problem.latency_ms[i, j] - (
-                    nearest[i] if np.isfinite(nearest[i]) else 0.0))
-                hosting_intensities.append(float(problem.intensity[j]))
-            totals[name] = totals.get(name, 0.0) + solution.total_carbon_g()
-    return totals
-
-
-def _seed_latency_aware(problem):
-    return legacy_greedy_place(problem, problem.latency_ms.copy(),
-                               np.zeros(problem.n_servers),
-                               tie_breaker=problem.operational_carbon_g())
-
-
-def _seed_intensity_aware(problem):
-    assign = np.broadcast_to(problem.intensity[None, :],
-                             (problem.n_applications, problem.n_servers)).copy()
-    return legacy_greedy_place(problem, assign, np.zeros(problem.n_servers))
-
-
-def _seed_registry_greedy(objective):
-    def solve(problem):
-        return registry.solve(problem, backend="greedy", objective=objective)
-    return solve
 
 
 def _append_trajectory(record: dict) -> None:
@@ -126,80 +60,58 @@ def _append_trajectory(record: dict) -> None:
     ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
 
 
-def test_bench_cdn_pipeline_speedup(bench_once):
+def test_bench_cdn_pipeline(bench_once):
     compiled_s = 0.0
-    seed_s = 0.0
     compiled_results = {}
 
-    def run_both():
-        nonlocal compiled_s, seed_s
+    def run_all():
+        nonlocal compiled_s
         for continent in CONTINENTS:
             scenario = CDNScenario(continent=continent, **SCENARIO_KWARGS)
-            # Scenario setup (fleet, latency matrix, traces) is identical for
-            # both pipelines and excluded from the timed region; the seed
-            # emulation runs second, so it even inherits a warm carbon
-            # forecast cache — both choices make the measured speedup
-            # conservative.
+            # Scenario setup (fleet, latency matrix, traces) is excluded from
+            # the timed region: the epoch loop is what the compilation layer
+            # and the sharded runner optimise.
             simulator = CDNSimulator(scenario=scenario)
             t0 = time.monotonic()
             compiled_results[continent] = simulator.run()
-            t1 = time.monotonic()
-            _seed_pipeline_run(simulator)
-            t2 = time.monotonic()
-            compiled_s += t1 - t0
-            seed_s += t2 - t1
-        return compiled_s, seed_s
+            compiled_s += time.monotonic() - t0
+        return compiled_s
 
-    bench_once(run_both)
-    speedup = seed_s / max(compiled_s, 1e-9)
-    print(f"\ncompiled pipeline: {compiled_s:.3f} s, seed pipeline: {seed_s:.3f} s, "
-          f"speedup: {speedup:.2f}x (bar: {SPEEDUP_BAR:.1f}x, "
-          f"scale: {'smoke' if _SMOKE else 'full'})")
+    bench_once(run_all)
+    print(f"\ncompiled pipeline: {compiled_s:.3f} s "
+          f"(ceiling: {TIME_CEILING_S:.0f} s, scale: {'smoke' if _SMOKE else 'full'})")
     _append_trajectory({
         "scale": "smoke" if _SMOKE else "full",
         "continents": list(CONTINENTS),
         "n_epochs": SCENARIO_KWARGS["n_epochs"],
         "max_sites": SCENARIO_KWARGS["max_sites"],
         "compiled_s": round(compiled_s, 4),
-        "seed_s": round(seed_s, 4),
-        "speedup": round(speedup, 2),
     })
     # Sanity: the compiled pipeline still produces the paper's orderings.
     for continent, result in compiled_results.items():
         assert result.carbon_savings_pct("CarbonEdge") > 0.0, continent
-    assert speedup >= SPEEDUP_BAR, (
-        f"compiled pipeline is only {speedup:.2f}x faster than the seed "
-        f"pipeline (bar: {SPEEDUP_BAR}x)")
+    assert compiled_s <= TIME_CEILING_S, (
+        f"compiled pipeline took {compiled_s:.1f} s "
+        f"(ceiling: {TIME_CEILING_S:.0f} s)")
 
 
-def test_bench_exact_backend_objective_is_unchanged(bench_once):
-    """Identical problems through both builds -> bit-identical exact objectives."""
+def test_bench_exact_backend_is_deterministic(bench_once):
+    """Recompiling and re-solving the same epoch problem is bit-identical."""
 
     def run():
         scenario = CDNScenario(continent="EU", n_epochs=1, max_sites=8, seed=3)
         simulator = CDNSimulator(scenario=scenario)
-        batch = simulator.generator.generate_batch(0, 0)
-        simulator.fleet.reset_allocations()
-        for server in simulator.fleet.servers():
-            server.power_on()
-        apps = list(batch.applications)
-        kwargs = dict(latency=simulator.latency, carbon=simulator.carbon,
-                      hour=0, horizon_hours=float(scenario.hours_per_epoch))
-        from repro.core.problem import PlacementProblem
-        compiled_problem = PlacementProblem.build(
-            apps, simulator.fleet.servers(), **kwargs)
-        legacy_problem = legacy_build_problem(
-            apps, simulator.fleet.servers(), **kwargs)
-        assert np.array_equal(compiled_problem.latency_ms, legacy_problem.latency_ms)
-        assert np.array_equal(compiled_problem.energy_j, legacy_problem.energy_j)
-        assert np.array_equal(compiled_problem.intensity, legacy_problem.intensity)
-        assert np.array_equal(compiled_problem.supported, legacy_problem.supported)
+        problem = simulator.epoch_problem(0)
         policy = CarbonEdgePolicy(solver="exact")
-        new = policy.place(compiled_problem)
-        old = policy.place(legacy_problem)
-        validate_solution(new, strict=True)
-        assert new.placements == old.placements
-        assert new.total_carbon_g() == old.total_carbon_g()
-        return new.total_carbon_g()
+        first = policy.place(problem)
+        validate_solution(first, strict=True)
+        # Drop the memoised compilation: the second solve re-derives the
+        # feasibility report and dense tensors from scratch.
+        clear_compilation(problem)
+        second = policy.place(problem)
+        validate_solution(second, strict=True)
+        assert first.placements == second.placements
+        assert first.total_carbon_g() == second.total_carbon_g()
+        return first.total_carbon_g()
 
     bench_once(run)

@@ -15,10 +15,11 @@ _README = Path(__file__).parent / "README.md"
 
 setup(
     name="carbonedge-repro",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of CarbonEdge: carbon-aware application placement across "
-        "edge data centers, with a pluggable solver-backend registry"
+        "edge data centers, with a pluggable solver-backend registry and a "
+        "declarative experiment registry driven by a sharded parallel runner"
     ),
     long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
     long_description_content_type="text/markdown",
@@ -36,6 +37,7 @@ setup(
     },
     entry_points={
         "console_scripts": [
+            "carbon-edge = repro.cli:carbon_edge_main",
             "carbon-edge-quickstart = repro.cli:main",
         ],
     },

@@ -1,0 +1,6 @@
+"""``python -m repro`` — the ``carbon-edge`` command without installation."""
+
+from repro.cli import carbon_edge_main
+
+if __name__ == "__main__":
+    raise SystemExit(carbon_edge_main())

@@ -1,10 +1,18 @@
-"""Console entry point: the quickstart demo as an installed command.
+"""Console entry points: the ``carbon-edge`` command and the quickstart demo.
 
-Installed as ``carbon-edge-quickstart`` (see ``setup.py``). Builds the
-Central-EU edge deployment, generates a batch of inference applications, and
-compares where CarbonEdge places them against the Latency-aware baseline —
-the same scenario as ``examples/quickstart.py``, with the solver backend,
-placement hour, and energy weight exposed as flags::
+``carbon-edge`` (see ``setup.py``; also ``python -m repro``) is the umbrella
+command. Its ``experiments`` subcommand drives the declarative experiment
+registry through the sharded scenario runner::
+
+    carbon-edge experiments list
+    carbon-edge experiments run fig11 fig17 --workers 8
+    carbon-edge experiments run --all --smoke --workers 2 --output-dir artifacts
+
+``carbon-edge quickstart`` (and the original ``carbon-edge-quickstart``
+alias) builds the Central-EU edge deployment, generates a batch of inference
+applications, and compares where CarbonEdge places them against the
+Latency-aware baseline — the same scenario as ``examples/quickstart.py`` —
+with the solver backend, placement hour, and energy weight exposed as flags::
 
     carbon-edge-quickstart
     carbon-edge-quickstart --backend heuristic --time-budget-s 0.05
@@ -14,6 +22,8 @@ placement hour, and energy weight exposed as flags::
 from __future__ import annotations
 
 import argparse
+import sys
+import time
 
 from repro.carbon import CarbonIntensityService, SyntheticTraceGenerator
 from repro.cluster import build_regional_fleet
@@ -24,11 +34,8 @@ from repro.solver import registry
 from repro.workloads import make_application
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The quickstart command-line interface."""
-    parser = argparse.ArgumentParser(
-        prog="carbon-edge-quickstart",
-        description="Carbon-aware edge placement demo (CarbonEdge reproduction).")
+def _add_quickstart_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the quickstart flags to a parser (shared by both entry points)."""
     parser.add_argument("--backend", default="auto", choices=registry.backend_names(),
                         help="solver backend for the CarbonEdge policy (default: auto)")
     parser.add_argument("--hour", type=int, default=4700,
@@ -42,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "30 s limit; values < 1 make 'auto' pick the heuristic)")
     parser.add_argument("--seed", type=int, default=7,
                         help="seed for the synthetic carbon traces (default: 7)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The quickstart command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="carbon-edge-quickstart",
+        description="Carbon-aware edge placement demo (CarbonEdge reproduction).")
+    _add_quickstart_args(parser)
     return parser
 
 
@@ -49,6 +64,10 @@ def main(argv: list[str] | None = None) -> int:
     """Run the quickstart comparison and print the placement summary."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    return _run_quickstart(args, parser)
+
+
+def _run_quickstart(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if not 0.0 <= args.alpha <= 1.0:
         parser.error(f"--alpha must be in [0, 1], got {args.alpha}")
     if args.time_budget_s is not None and args.time_budget_s < 0:
@@ -94,5 +113,110 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+# -- the carbon-edge umbrella command -----------------------------------------
+
+
+def build_carbon_edge_parser() -> argparse.ArgumentParser:
+    """The ``carbon-edge`` command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="carbon-edge",
+        description="CarbonEdge reproduction: carbon-aware placement across "
+                    "edge data centers.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = commands.add_parser(
+        "quickstart", help="run the Central-EU placement demo")
+    _add_quickstart_args(quickstart)
+
+    experiments = commands.add_parser(
+        "experiments", help="list or run the registered paper experiments")
+    actions = experiments.add_subparsers(dest="action", required=True)
+
+    actions.add_parser("list", help="list every registered experiment spec")
+
+    run_cmd = actions.add_parser(
+        "run", help="run experiments through the sharded scenario runner")
+    run_cmd.add_argument("names", nargs="*", metavar="NAME",
+                         help="experiment names (e.g. fig11 table1); "
+                              "see 'experiments list'")
+    run_cmd.add_argument("--all", action="store_true", dest="run_all",
+                         help="run every registered experiment")
+    run_cmd.add_argument("--smoke", action="store_true",
+                         help="reduced-scale smoke parameters (CI scale)")
+    run_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                         help="worker processes; results are identical for any "
+                              "worker count (default: 1)")
+    run_cmd.add_argument("--seed", type=int, default=None,
+                         help="override the seed of every experiment that takes one")
+    run_cmd.add_argument("--output-dir", default="artifacts", metavar="DIR",
+                         help="directory for the JSON artifacts (default: artifacts/)")
+    run_cmd.add_argument("--no-write", action="store_true",
+                         help="skip writing artifacts (print the summary only)")
+    return parser
+
+
+def _experiments_list() -> int:
+    from repro.experiments import registry as experiment_registry
+    from repro.simulator.runner import expand_units
+
+    rows = []
+    for spec in experiment_registry.all_specs():
+        n_units = len(expand_units(spec))
+        axes = ",".join(axis.param for axis in spec.sweep) or "-"
+        rows.append((spec.name, spec.kind, str(n_units), axes, spec.title))
+    widths = [max(len(row[i]) for row in rows + [("name", "kind", "units", "sweep", "title")])
+              for i in range(5)]
+    header = ("name", "kind", "units", "sweep", "title")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return 0
+
+
+def _experiments_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments import registry as experiment_registry
+    from repro.simulator.runner import ScenarioRunner
+
+    known = experiment_registry.names()
+    if args.run_all and args.names:
+        parser.error("pass experiment names or --all, not both")
+    names = known if args.run_all else args.names
+    if not names:
+        parser.error("no experiments selected; pass names or --all "
+                     f"(registered: {', '.join(known)})")
+    unknown = [n for n in names if n not in known]
+    if unknown:
+        parser.error(f"unknown experiment(s) {', '.join(unknown)}; "
+                     f"registered: {', '.join(known)}")
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+
+    runner = ScenarioRunner(workers=args.workers, smoke=args.smoke, seed=args.seed)
+    start = time.perf_counter()
+    results = runner.run(names)
+    elapsed = time.perf_counter() - start
+    for name, result in results.items():
+        line = f"{name}: {result.n_units} unit(s)"
+        if not args.no_write:
+            path = result.write(args.output_dir)
+            line += f" -> {path}"
+        print(line)
+    scale = "smoke" if args.smoke else "full"
+    print(f"ran {len(results)} experiment(s) at {scale} scale with "
+          f"{args.workers} worker(s) in {elapsed:.1f} s")
+    return 0
+
+
+def carbon_edge_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``carbon-edge`` command (and ``python -m repro``)."""
+    parser = build_carbon_edge_parser()
+    args = parser.parse_args(argv)
+    if args.command == "quickstart":
+        return _run_quickstart(args, parser)
+    if args.action == "list":
+        return _experiments_list()
+    return _experiments_run(args, parser)
+
+
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(carbon_edge_main(sys.argv[1:]))

@@ -8,8 +8,8 @@ directly for CDN-scale problems and as the warm start / fallback of the exact
 CarbonEdge policy.
 
 The seed's object-based ``greedy_place`` engine that used to live here was
-consolidated into the dense kernel; ``tests/test_greedy_parity.py`` keeps a
-frozen copy as a regression oracle for one release.
+consolidated into the dense kernel (a frozen copy served as a parity oracle
+for one release and has since been retired).
 """
 
 from __future__ import annotations

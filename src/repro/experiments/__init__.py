@@ -1,11 +1,14 @@
-"""Experiment runners — one module per table/figure of the paper's evaluation.
+"""Experiment layer — one declarative spec per table/figure of the paper.
 
-Every module exposes a ``run(...)`` function returning plain dict/array data
-(the rows or series the corresponding paper artifact reports) and is exercised
-by a benchmark under ``benchmarks/``. See DESIGN.md §4 for the experiment
-index and EXPERIMENTS.md for paper-vs-measured values.
+Every module registers an :class:`~repro.experiments.registry.ExperimentSpec`
+(scenario parameters, smoke-scale overrides, shardable sweep axes, artifact
+schema) and keeps a ``run(...)``/``report(...)`` pair for direct execution.
+The sharded runner (:mod:`repro.simulator.runner`) and the ``carbon-edge
+experiments`` CLI are the primary consumers; importing this package populates
+the registry. See docs/EXPERIMENTS.md for paper-vs-measured values.
 """
 
+from repro.experiments import registry, results  # noqa: F401
 from repro.experiments import (  # noqa: F401
     common,
     fig01_energy_mix,
@@ -28,6 +31,8 @@ from repro.experiments import (  # noqa: F401
 )
 
 __all__ = [
+    "registry",
+    "results",
     "common",
     "fig01_energy_mix",
     "fig02_snapshots",

@@ -16,6 +16,7 @@ from repro.carbon.synthetic import SyntheticTraceGenerator
 from repro.datasets.electricity_maps import default_zone_catalog
 from repro.datasets.regions import FIGURE1_ZONES
 from repro.experiments.common import EXPERIMENT_SEED
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 
 #: Hour-of-year at which the three-day window starts (July 15th, 00:00).
 JULY_15_HOUR: int = (31 + 28 + 31 + 30 + 31 + 30 + 14) * 24
@@ -52,6 +53,23 @@ def report(result: dict[str, object]) -> str:
                       title="Figure 1b: first 24 h of the 3-day window (g CO2eq/kWh)"),
     ]
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig01",
+    title="Energy mix and carbon intensity of four reference regions",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, n_days=3),
+    smoke_params=dict(n_days=1),
+    schema=("mixes", "series", "means", "zones"),
+))
 
 
 if __name__ == "__main__":

@@ -11,18 +11,24 @@ from __future__ import annotations
 
 from repro.analysis.mesoscale import region_snapshot
 from repro.analysis.reporting import format_table
-from repro.datasets.regions import ALL_REGIONS
+from repro.datasets.regions import ALL_REGIONS, region_by_name
 from repro.experiments.common import EXPERIMENT_SEED, region_traces
+from repro.experiments.registry import ExperimentSpec, RunContext, SweepAxis, register
 
 #: Snapshot hour used by default (a July evening, when solar has just dropped
 #: off and fossil-heavy zones peak — the regime with the largest spreads).
 DEFAULT_SNAPSHOT_HOUR: int = (31 + 28 + 31 + 30 + 31 + 30 + 14) * 24 + 19
 
+#: Region names snapshotted by default (all four mesoscale regions).
+REGION_NAMES: tuple[str, ...] = tuple(r.name for r in ALL_REGIONS)
 
-def run(seed: int = EXPERIMENT_SEED, hour: int = DEFAULT_SNAPSHOT_HOUR) -> dict[str, object]:
-    """Generate the Figure 2 snapshot data for all four mesoscale regions."""
+
+def run(seed: int = EXPERIMENT_SEED, hour: int = DEFAULT_SNAPSHOT_HOUR,
+        regions: tuple[str, ...] = REGION_NAMES) -> dict[str, object]:
+    """Generate the Figure 2 snapshot data for the requested mesoscale regions."""
     snapshots = {}
-    for region in ALL_REGIONS:
+    for region_name in regions:
+        region = region_by_name(region_name)
         traces = region_traces(region.name, seed=seed)
         snapshots[region.name] = region_snapshot(region, traces, hour)
     return {
@@ -53,6 +59,24 @@ def report(result: dict[str, object]) -> str:
             title=f"Figure 2 ({name}) hour={result['hour']} "
                   f"spread={snap.spread_ratio:.1f}x box={snap.width_km:.0f}x{snap.height_km:.0f} km"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig02",
+    title="One-hour carbon-intensity snapshots of the four mesoscale regions",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, hour=DEFAULT_SNAPSHOT_HOUR, regions=REGION_NAMES),
+    smoke_params=dict(regions=("Florida", "Central EU")),
+    sweep=(SweepAxis("regions"),),
+    schema=("hour", "snapshots", "spread_ratios"),
+))
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from repro.analysis.mesoscale import yearly_region_stats
 from repro.analysis.reporting import format_table
 from repro.datasets.regions import CENTRAL_EU, WEST_US
 from repro.experiments.common import EXPERIMENT_SEED, region_traces
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 
 
 def run(seed: int = EXPERIMENT_SEED) -> dict[str, object]:
@@ -33,6 +34,22 @@ def report(result: dict[str, object]) -> str:
             rows, title=f"Figure 3 ({name}): max/min ratio = {stats['ratio']:.1f}x "
                         f"(paper: 2.7x West US, 10.8x Central EU)"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig03",
+    title="Yearly mean carbon intensity of the West-US and Central-EU regions",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED),
+    schema=("West US", "Central EU"),
+))
 
 
 if __name__ == "__main__":

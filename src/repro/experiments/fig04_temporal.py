@@ -16,6 +16,7 @@ from repro.carbon.statistics import monthly_means, temporal_range
 from repro.datasets.cities import default_city_catalog
 from repro.datasets.regions import WEST_US
 from repro.experiments.common import EXPERIMENT_SEED, region_traces
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 
 #: Hour-of-year of December 25th, 00:00.
 DEC_25_HOUR: int = (365 - 7) * 24
@@ -52,6 +53,22 @@ def report(result: dict[str, object]) -> str:
     parts.append(format_series({c: list(m.values()) for c, m in result["monthly"].items()},
                                title="Figure 4b: monthly mean intensity (Jan..Dec)"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig04",
+    title="Spatio-temporal carbon-intensity variation in the West US",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED),
+    schema=("two_day", "monthly", "diurnal_range", "seasonal_range"),
+))
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from repro.analysis.mesoscale import (
 )
 from repro.analysis.reporting import format_table
 from repro.experiments.common import EXPERIMENT_SEED, cdn_footprint, footprint_traces
+from repro.experiments.registry import ExperimentSpec, RunContext, SweepAxis, register
 
 #: Radii (km) evaluated by the paper.
 RADII_KM: tuple[float, ...] = (200.0, 500.0, 1000.0)
@@ -57,6 +58,24 @@ def report(result: dict[str, object]) -> str:
         })
     return format_table(rows, title="Figure 5: savings within a search radius "
                                     "(paper: >20% savings at 32%/57%/78% of sites for 200/500/1000 km)")
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig05",
+    title="Carbon savings available within a search radius (496 CDN sites)",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, radii_km=RADII_KM, n_sites=496),
+    smoke_params=dict(radii_km=(200.0, 1000.0), n_sites=60),
+    sweep=(SweepAxis("radii_km"),),
+    schema=("radii_km", "per_radius"),
+))
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ the full profile table and the two spread statistics.
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 from repro.workloads.profiles import (
     DEVICE_NAMES,
     MODEL_NAMES,
@@ -48,6 +49,21 @@ def report(result: dict[str, object]) -> str:
                    for m, v in result["energy_spread_across_devices"].items()]
     parts.append(format_table(device_rows, title="Energy spread across devices (paper: ~2x)"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig07",
+    title="Energy, GPU memory, and inference time of the ML workload profiles",
+    kind="figure",
+    compute=compute,
+    report=report,
+    schema=("rows", "energy_spread_across_models", "energy_spread_across_devices"),
+))
 
 
 if __name__ == "__main__":

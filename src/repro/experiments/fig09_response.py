@@ -16,6 +16,7 @@ from repro.core.policies.latency_aware import LatencyAwarePolicy
 from repro.datasets.regions import FLORIDA
 from repro.experiments.common import EXPERIMENT_SEED
 from repro.experiments.fig08_florida import DEFAULT_START_HOUR
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 from repro.testbed.emulation import build_testbed, run_testbed_experiment
 
 
@@ -48,6 +49,25 @@ def report(result: dict[str, object]) -> str:
     title = (f"Figure 9: response times (mean increase {result['mean_increase_ms']:.1f} ms, "
              f"max {result['max_increase_ms']:.1f} ms; paper: avg 6.6 ms, max <10.1 ms)")
     return format_table(rows, title=title)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig09",
+    title="End-to-end response times across the Florida edge data centers",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, hours=24, workload="Sci",
+                start_hour=DEFAULT_START_HOUR),
+    smoke_params=dict(hours=6),
+    drop_keys=("runs",),
+    schema=("per_city", "mean_increase_ms", "max_increase_ms"),
+))
 
 
 if __name__ == "__main__":

@@ -17,6 +17,7 @@ from repro.core.policies.latency_aware import LatencyAwarePolicy
 from repro.datasets.regions import CENTRAL_EU, FLORIDA
 from repro.experiments.common import EXPERIMENT_SEED
 from repro.experiments.fig08_florida import DEFAULT_START_HOUR
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 from repro.testbed.emulation import build_testbed, run_testbed_experiment
 
 #: Workloads evaluated (CPU pipeline + GPU model serving).
@@ -74,6 +75,24 @@ def report(result: dict[str, object]) -> str:
         summary_rows,
         title="Summary (paper: 39.4% / 6.6 ms Florida, 78.7% / 10.5 ms Central EU)"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig10",
+    title="Aggregate emissions and latency overheads per region and workload",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, hours=24, start_hour=DEFAULT_START_HOUR,
+                workloads=WORKLOADS),
+    smoke_params=dict(hours=6, workloads=("ResNet50",)),
+    schema=("rows", "summary"),
+))
 
 
 if __name__ == "__main__":

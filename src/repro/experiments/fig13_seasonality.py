@@ -12,6 +12,7 @@ from repro.analysis.reporting import format_series, format_table
 from repro.carbon.statistics import monthly_means
 from repro.datasets.cities import default_city_catalog
 from repro.experiments.common import EXPERIMENT_SEED, zone_traces
+from repro.experiments.registry import ExperimentSpec, RunContext, SweepAxis, register
 from repro.simulator.cdn import run_cdn_simulation
 from repro.simulator.scenario import CDNScenario
 
@@ -20,12 +21,18 @@ FOCUS_CITIES: tuple[str, ...] = ("Paris", "Oslo", "Vienna", "Zagreb")
 
 
 def run(seed: int = EXPERIMENT_SEED, max_sites: int | None = None,
-        continents: tuple[str, ...] = ("US", "EU")) -> dict[str, object]:
-    """Monthly savings/latency series plus per-city intensity and placements."""
+        continents: tuple[str, ...] = ("US", "EU"),
+        n_epochs: int = 12) -> dict[str, object]:
+    """Monthly savings/latency series plus per-city intensity and placements.
+
+    ``n_epochs`` defaults to the paper's monthly resolution; smoke runs reduce
+    it (the series semantics degrade gracefully to coarser epochs).
+    """
     monthly: dict[str, dict[str, list[float]]] = {}
     results = {}
     for continent in continents:
-        scenario = CDNScenario(continent=continent, n_epochs=12, max_sites=max_sites, seed=seed)
+        scenario = CDNScenario(continent=continent, n_epochs=n_epochs,
+                               max_sites=max_sites, seed=seed)
         result = run_cdn_simulation(scenario)
         results[continent] = result
         monthly[continent] = {
@@ -44,7 +51,7 @@ def run(seed: int = EXPERIMENT_SEED, max_sites: int | None = None,
     placements_by_city = {}
     if "EU" in results:
         per_site = results["EU"].placements_per_site("CarbonEdge")
-        placements_by_city = {city: per_site.get(city, [0] * 12) for city in focus}
+        placements_by_city = {city: per_site.get(city, [0] * n_epochs) for city in focus}
     return {
         "monthly": monthly,
         "intensity_by_city": intensity_by_city,
@@ -69,6 +76,26 @@ def report(result: dict[str, object]) -> str:
                 for c, v in result["placements_by_city"].items()]
         parts.append(format_table(rows, title="Figure 13d: per-city placement swings"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig13",
+    title="Effect of seasonality on savings, latency, and placement decisions",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, max_sites=None, continents=("US", "EU"),
+                n_epochs=12),
+    smoke_params=dict(max_sites=8, continents=("EU",), n_epochs=2),
+    sweep=(SweepAxis("continents"),),
+    drop_keys=("results",),
+    schema=("monthly", "intensity_by_city", "placements_by_city"),
+))
 
 
 if __name__ == "__main__":

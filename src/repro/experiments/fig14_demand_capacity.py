@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.analysis.reporting import format_table
 from repro.experiments.common import EXPERIMENT_SEED
+from repro.experiments.registry import ExperimentSpec, RunContext, SweepAxis, register
 from repro.simulator.cdn import run_cdn_simulation
 from repro.simulator.scenario import CDNScenario
 
@@ -47,6 +48,25 @@ def report(result: dict[str, object]) -> str:
     rows = [{k: (round(v, 1) if isinstance(v, float) else v) for k, v in row.items()}
             for row in result["rows"]]
     return format_table(rows, title="Figure 14: effect of demand and capacity distributions")
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig14",
+    title="Effect of demand and capacity distributions on carbon savings",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, n_epochs=4, max_sites=None,
+                continents=("US", "EU")),
+    smoke_params=dict(n_epochs=1, max_sites=8, continents=("EU",)),
+    sweep=(SweepAxis("continents"),),
+    schema=("rows",),
+))
 
 
 if __name__ == "__main__":

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.analysis.reporting import format_table
 from repro.experiments.common import EXPERIMENT_SEED
+from repro.experiments.registry import ExperimentSpec, RunContext, SweepAxis, register
 from repro.simulator.cdn import run_cdn_simulation
 from repro.simulator.scenario import CDNScenario
 
@@ -27,14 +28,22 @@ DEVICE_POOLS: tuple[tuple[str, tuple[str, ...] | None], ...] = (
 #: Workload mix used by the heterogeneity study.
 WORKLOAD_MIX: dict[str, float] = {"EfficientNetB0": 0.4, "ResNet50": 0.4, "YOLOv4": 0.2}
 
+#: Pool names in evaluation order (the shardable axis of this experiment).
+POOL_NAMES: tuple[str, ...] = tuple(name for name, _ in DEVICE_POOLS)
+
 
 def run(seed: int = EXPERIMENT_SEED, continent: str = "EU", n_epochs: int = 3,
-        max_sites: int | None = 40, apps_per_site_per_epoch: float = 2.0
-        ) -> dict[str, object]:
+        max_sites: int | None = 40, apps_per_site_per_epoch: float = 2.0,
+        pools: tuple[str, ...] = POOL_NAMES) -> dict[str, object]:
     """Carbon and energy per device pool and policy."""
+    pool_mix = dict(DEVICE_POOLS)
+    unknown = [p for p in pools if p not in pool_mix]
+    if unknown:
+        raise ValueError(f"unknown device pool(s) {unknown}; have {list(pool_mix)}")
     rows = []
     per_pool: dict[str, dict[str, dict[str, float]]] = {}
-    for pool_name, mix in DEVICE_POOLS:
+    for pool_name in pools:
+        mix = pool_mix[pool_name]
         scenario = CDNScenario(
             continent=continent,
             n_epochs=n_epochs,
@@ -68,6 +77,25 @@ def report(result: dict[str, object]) -> str:
     return format_table(rows, title="Figure 15: heterogeneity study "
                                     "(paper: CarbonEdge beats Latency/Intensity/Energy-aware "
                                     "by ~98%/79%/63% on the heterogeneous pool)")
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig15",
+    title="Carbon and energy across heterogeneous edge resources and policies",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, continent="EU", n_epochs=3, max_sites=40,
+                apps_per_site_per_epoch=2.0, pools=POOL_NAMES),
+    smoke_params=dict(n_epochs=1, max_sites=6, pools=("Orin Nano", "Hetero.")),
+    sweep=(SweepAxis("pools"),),
+    schema=("rows", "per_pool"),
+))
 
 
 if __name__ == "__main__":

@@ -25,6 +25,7 @@ from repro.datasets.akamai import CDNFootprint, build_cdn_footprint
 from repro.datasets.cities import default_city_catalog
 from repro.datasets.electricity_maps import default_zone_catalog
 from repro.experiments.common import EXPERIMENT_SEED
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 from repro.network.latency import build_latency_matrix
 from repro.solver import solve
 from repro.workloads.generator import ApplicationGenerator
@@ -158,6 +159,29 @@ def report(result: dict[str, object]) -> str:
         format_table(fmt(result["by_apps"]),
                      title="Figure 17b: scaling with the number of applications"),
     ])
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="fig17",
+    title="Scalability of the incremental placement algorithm",
+    kind="figure",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, backend="auto", server_counts=SERVER_COUNTS,
+                app_counts=APP_COUNTS, fixed_apps=50, fixed_servers=100,
+                time_budget_s=None),
+    smoke_params=dict(server_counts=(20,), app_counts=(10,), fixed_apps=10,
+                      fixed_servers=20),
+    schema=("by_servers", "by_apps"),
+    # Wall-clock and peak-memory measurements: the artifact is inherently
+    # machine- and run-dependent, so it is excluded from byte-identity checks.
+    deterministic=False,
+))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,194 @@
+"""Declarative experiment registry: every paper artifact as an ExperimentSpec.
+
+Each figure/table module declares *what* it computes — default parameters,
+reduced smoke-scale overrides, shardable sweep axes, which raw-result keys are
+JSON artifacts, and the artifact's required schema — and registers the spec
+here. The sharded runner (:mod:`repro.simulator.runner`) and the
+``carbon-edge experiments`` CLI consume specs instead of importing bespoke
+scripts, so new sweeps/ablations plug into one execution path.
+
+Population is automatic: importing :mod:`repro.experiments` (which any access
+through :func:`get` / :func:`all_specs` triggers) imports every experiment
+module, and each module registers its spec at import time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+__all__ = [
+    "ExperimentSpec",
+    "RunContext",
+    "SweepAxis",
+    "register",
+    "get",
+    "names",
+    "all_specs",
+]
+
+#: Valid values of :attr:`ExperimentSpec.kind`.
+KINDS: tuple[str, ...] = ("figure", "table")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One shardable sweep axis of an experiment.
+
+    ``param`` names a tuple-valued parameter of the experiment's ``run``
+    function (e.g. ``continents``, ``limits_ms``). The runner expands the grid
+    of all declared axes into independent work units — one per combination,
+    each seeing a single-element tuple for every axis parameter — and merges
+    the per-unit artifacts back in grid order. Axes must therefore be declared
+    in the experiment's own loop-nesting order (outermost first) so the merged
+    artifact is identical to a single sequential run.
+    """
+
+    param: str
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Per-work-unit execution context handed to :meth:`ExperimentSpec.compute`.
+
+    ``params`` are the fully resolved keyword arguments for this unit (spec
+    defaults, overlaid with smoke overrides and runner overrides, with sweep
+    axes narrowed to this unit's slice).
+    """
+
+    params: Mapping[str, object]
+    smoke: bool = False
+    unit_index: int = 0
+    n_units: int = 1
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one reproducible paper artifact.
+
+    Parameters
+    ----------
+    name:
+        Registry key and artifact filename stem (``fig11``, ``table1``).
+    title:
+        One-line human description (shown by ``carbon-edge experiments list``).
+    kind:
+        ``"figure"`` or ``"table"``.
+    compute:
+        Pure entry point ``compute(spec, ctx) -> dict``: runs the experiment
+        with ``ctx.params`` and returns the raw result mapping. Must be
+        deterministic in its parameters for ``deterministic`` specs.
+    params:
+        Full default parameter set — exactly the keyword arguments of the
+        module's ``run`` function.
+    smoke_params:
+        Overrides applied on top of ``params`` for reduced-scale smoke runs
+        (CI, registry round-trip tests).
+    sweep:
+        Shardable axes, outermost loop first (see :class:`SweepAxis`).
+    drop_keys:
+        Raw-result keys excluded from the JSON artifact (simulation objects,
+        policy handles — anything non-serialisable or non-deterministic).
+    schema:
+        Top-level keys the projected artifact must contain
+        (:meth:`repro.experiments.results.ExperimentResult.validate`).
+    deterministic:
+        Whether the artifact bytes are a pure function of the parameters.
+        Timing experiments (fig17) set this to ``False`` and are excluded from
+        byte-identity checks.
+    report:
+        Optional renderer of the *raw* result (the module's ``report``),
+        used by direct module execution; the runner does not call it.
+    """
+
+    name: str
+    title: str
+    kind: str
+    compute: Callable[["ExperimentSpec", RunContext], Mapping[str, object]]
+    params: Mapping[str, object] = field(default_factory=dict)
+    smoke_params: Mapping[str, object] = field(default_factory=dict)
+    sweep: tuple[SweepAxis, ...] = ()
+    drop_keys: tuple[str, ...] = ()
+    schema: tuple[str, ...] = ()
+    deterministic: bool = True
+    report: Callable[[Mapping[str, object]], str] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"spec name must be a valid identifier, got {self.name!r}")
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        for axis in self.sweep:
+            if axis.param not in self.params:
+                raise ValueError(
+                    f"spec {self.name!r}: sweep axis {axis.param!r} is not a "
+                    f"declared parameter {sorted(self.params)}")
+            if not isinstance(self.params[axis.param], tuple):
+                raise ValueError(
+                    f"spec {self.name!r}: sweep axis {axis.param!r} must be a "
+                    f"tuple-valued parameter")
+        unknown = set(self.smoke_params) - set(self.params)
+        if unknown:
+            raise ValueError(
+                f"spec {self.name!r}: smoke_params {sorted(unknown)} are not "
+                f"declared parameters")
+
+    def resolved_params(self, smoke: bool = False,
+                        overrides: Mapping[str, object] | None = None) -> dict[str, object]:
+        """Defaults, overlaid with smoke overrides, overlaid with ``overrides``.
+
+        Override keys that are not parameters of this experiment are ignored —
+        that lets the runner broadcast e.g. a ``--seed`` to every selected
+        spec, including ones (table1, fig07) that take no seed at all.
+        """
+        params = dict(self.params)
+        if smoke:
+            params.update(self.smoke_params)
+        if overrides:
+            params.update({k: v for k, v in overrides.items() if k in self.params})
+        return params
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register a spec (returns it, so modules can keep a ``SPEC`` handle)."""
+    if spec.name in _REGISTRY:
+        # ``python -m repro.experiments.figXX`` executes the module twice:
+        # once during the package import (which registers the spec) and once
+        # as ``__main__``. The re-execution registers the same spec under a
+        # fresh module; keep the canonical one instead of failing.
+        if getattr(spec.compute, "__module__", None) == "__main__":
+            return _REGISTRY[spec.name]
+        raise ValueError(f"experiment {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_populated() -> None:
+    # Importing the package imports every experiment module, each of which
+    # registers its spec. Safe re-entrantly: if we are mid-package-import the
+    # module is already in sys.modules and this is a no-op.
+    import repro.experiments  # noqa: F401
+
+
+def get(name: str) -> ExperimentSpec:
+    """Look up one spec by name."""
+    _ensure_populated()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {', '.join(names())}")
+    return _REGISTRY[name]
+
+
+def names() -> list[str]:
+    """All registered experiment names, in registration (paper) order."""
+    _ensure_populated()
+    return list(_REGISTRY)
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """All registered specs, in registration (paper) order."""
+    _ensure_populated()
+    return list(_REGISTRY.values())

@@ -1,0 +1,153 @@
+"""Unified experiment results: versioned, JSON-serialisable artifacts.
+
+Every experiment the registry runs produces one :class:`ExperimentResult` —
+the declared projection of the raw ``run()`` output onto JSON-safe data —
+serialised with sorted keys so an artifact's bytes depend only on the spec's
+parameters, never on worker count, completion order, or wall-clock timings.
+That byte-stability is what lets the sharded runner assert that ``--workers 4``
+and ``--workers 1`` produced the same science.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+#: Version stamp written into every serialized artifact. Bump on any change to
+#: the envelope layout (not to individual experiments' payloads).
+ARTIFACT_VERSION: int = 1
+
+
+class ArtifactSchemaError(ValueError):
+    """An experiment's artifact is missing a key its spec declares as required."""
+
+
+def _key(value: object) -> str:
+    """Normalise a mapping key to the string JSON requires (deterministically)."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, tuple):
+        return "|".join(str(v) for v in value)
+    if isinstance(value, (bool, np.bool_)):
+        return str(bool(value))
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating)):
+        return repr(float(value))
+    return str(value)
+
+
+def jsonable(value: object, path: str = "$") -> object:
+    """Convert an experiment result fragment to plain JSON-safe data.
+
+    Handles the types the experiment runners actually return — numpy arrays
+    and scalars, nested mappings with non-string keys (radii, city pairs),
+    tuples, and plain dataclasses. Anything else (simulation objects, policies,
+    callables) raises ``TypeError`` naming the offending path, which forces the
+    owning spec to either drop the key (``drop_keys``) or serialise it
+    deliberately.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return jsonable(float(value), path)
+    if isinstance(value, np.ndarray):
+        return jsonable(value.tolist(), path)
+    if isinstance(value, Mapping):
+        out = {}
+        for k, v in value.items():
+            key = _key(k)
+            if key in out:
+                raise TypeError(f"duplicate JSON key {key!r} at {path}")
+            out[key] = jsonable(v, f"{path}.{key}")
+        return out
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [jsonable(v, f"{path}[{i}]") for i, v in enumerate(items)]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {f.name: getattr(value, f.name) for f in dataclasses.fields(value)}
+        return jsonable(fields, path)
+    raise TypeError(
+        f"experiment artifact contains a non-JSON-serialisable value at {path}: "
+        f"{type(value).__name__}. Drop the key via the spec's drop_keys or "
+        f"convert it in compute().")
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's artifact: the versioned unit every consumer shares.
+
+    ``artifact`` holds only JSON-safe data (see :func:`jsonable`) and its
+    serialised form is deterministic for deterministic specs: sorted keys, no
+    timestamps, no timings. Wall-clock measurements live in ``elapsed_s``,
+    which is deliberately *excluded* from :meth:`to_json`.
+    """
+
+    name: str
+    kind: str
+    params: dict[str, object]
+    artifact: dict[str, object]
+    smoke: bool = False
+    n_units: int = 1
+    version: int = ARTIFACT_VERSION
+    #: Wall-clock seconds spent producing the artifact; never serialised.
+    elapsed_s: float | None = field(default=None, compare=False)
+
+    def validate(self, schema: Sequence[str]) -> None:
+        """Check the artifact against the spec's declared schema keys."""
+        missing = [key for key in schema if key not in self.artifact]
+        if missing:
+            raise ArtifactSchemaError(
+                f"experiment {self.name!r}: artifact is missing required "
+                f"key(s) {missing} (has {sorted(self.artifact)})")
+
+    def to_json(self) -> str:
+        """Serialise to the canonical artifact representation (stable bytes)."""
+        payload = {
+            "version": self.version,
+            "name": self.name,
+            "kind": self.kind,
+            "smoke": self.smoke,
+            "n_units": self.n_units,
+            "params": self.params,
+            "artifact": self.artifact,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Rebuild a result from its serialised form (``elapsed_s`` is lost)."""
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            kind=payload["kind"],
+            params=payload["params"],
+            artifact=payload["artifact"],
+            smoke=payload["smoke"],
+            n_units=payload["n_units"],
+            version=payload["version"],
+        )
+
+    def write(self, directory: str | Path) -> Path:
+        """Write the artifact as ``<directory>/<name>.json`` and return the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.json"
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path

@@ -10,6 +10,7 @@ from __future__ import annotations
 from repro.analysis.reporting import format_table
 from repro.datasets.regions import CENTRAL_EU, FLORIDA
 from repro.experiments.common import region_latency
+from repro.experiments.registry import ExperimentSpec, RunContext, register
 
 
 def run() -> dict[str, object]:
@@ -40,6 +41,21 @@ def report(result: dict[str, object]) -> str:
             rows, title=f"Table 1 ({region_name}): mean {data['mean_ms']:.2f} ms, "
                         f"max {data['max_ms']:.2f} ms"))
     return "\n\n".join(parts)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="table1",
+    title="Pairwise one-way latency within Florida and Central Europe",
+    kind="table",
+    compute=compute,
+    report=report,
+    schema=("Florida", "Central EU"),
+))
 
 
 if __name__ == "__main__":

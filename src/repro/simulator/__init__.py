@@ -8,6 +8,9 @@
   placement policies epoch by epoch over the carbon traces.
 * :mod:`repro.simulator.metrics` — per-epoch records and aggregation into the
   quantities Figures 11–15 report.
+* :mod:`repro.simulator.runner` — the sharded parallel runner executing
+  registered experiments (work-unit expansion, process pool, deterministic
+  merge).
 """
 
 from repro.simulator.events import Event, EventQueue
@@ -25,4 +28,15 @@ __all__ = [
     "SimulationResult",
     "CDNSimulator",
     "run_cdn_simulation",
+    "ScenarioRunner",
+    "run_experiments",
 ]
+
+
+def __getattr__(name):
+    # runner imports the experiments package (which imports this package);
+    # resolve lazily to keep the import graph acyclic.
+    if name in ("ScenarioRunner", "run_experiments", "runner"):
+        from repro.simulator import runner
+        return getattr(runner, name) if name != "runner" else runner
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

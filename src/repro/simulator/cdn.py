@@ -11,6 +11,7 @@ over the epoch.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -47,6 +48,97 @@ def default_policies(solver: str = "greedy") -> list[PlacementPolicy]:
     ]
 
 
+def _build_substrate(scenario: CDNScenario, footprint: CDNFootprint | None
+                     ) -> tuple[EdgeFleet, LatencyMatrix, CarbonIntensityService]:
+    """Fleet, latency matrix, and carbon service of one scenario's footprint."""
+    catalog = default_city_catalog()
+    zone_catalog = default_zone_catalog()
+    footprint = footprint or build_cdn_footprint(seed=scenario.seed)
+    sites = [s for s in footprint.one_per_city() if s.continent == scenario.continent]
+    if scenario.max_sites is not None and len(sites) > scenario.max_sites:
+        # Keep the most populous cities so demand weighting stays meaningful.
+        sites = sorted(sites, key=lambda s: -s.population_k)[: scenario.max_sites]
+    if len(sites) < 2:
+        raise ValueError("CDN scenario needs at least two sites")
+    from repro.datasets.akamai import CDNFootprint as _FP
+    restricted = _FP(sites=tuple(sites))
+
+    capacity_weights = None
+    if scenario.capacity == "population":
+        capacity_weights = capacity_weights_from_population(
+            [s.city_name for s in sites], catalog)
+    accelerator = DEVICE_CATALOG[scenario.accelerator]
+    fleet = build_cdn_fleet(
+        restricted,
+        servers_per_site=scenario.servers_per_site,
+        accelerator=accelerator,
+        accelerator_mix=list(scenario.accelerator_mix) if scenario.accelerator_mix else None,
+        capacity_weights=capacity_weights,
+        seed=scenario.seed,
+    )
+
+    site_names = fleet.sites()
+    cities = [catalog.get(name) for name in site_names]
+    latency = build_latency_matrix(
+        site_names, catalog.coordinates_array(site_names),
+        countries=[c.state or c.country for c in cities])
+
+    zone_ids = sorted({dc.zone_id for dc in fleet})
+    traces = SyntheticTraceGenerator(seed=scenario.seed).generate_set(
+        zone_catalog.get(z) for z in zone_ids)
+    carbon = CarbonIntensityService(traces=traces)
+    return fleet, latency, carbon
+
+
+#: Scenario-substrate cache: scenario variants that share a footprint (same
+#: continent/sites/capacity/hardware/seed, e.g. a latency-limit sweep) reuse
+#: one fleet + latency matrix + year of traces instead of rebuilding them per
+#: variant. Keyed on exactly the scenario fields the substrate depends on;
+#: bounded LRU so long sweep sessions keep bounded memory.
+_SUBSTRATE_CACHE: OrderedDict[tuple, tuple[EdgeFleet, LatencyMatrix,
+                                           CarbonIntensityService]] = OrderedDict()
+_SUBSTRATE_CACHE_MAX: int = 8
+
+
+def _substrate_key(scenario: CDNScenario) -> tuple:
+    return (
+        scenario.continent,
+        scenario.max_sites,
+        scenario.capacity,
+        scenario.servers_per_site,
+        scenario.accelerator,
+        tuple(scenario.accelerator_mix) if scenario.accelerator_mix else None,
+        scenario.seed,
+    )
+
+
+def scenario_substrate(scenario: CDNScenario, footprint: CDNFootprint | None = None
+                       ) -> tuple[EdgeFleet, LatencyMatrix, CarbonIntensityService]:
+    """The (possibly cached) substrate shared by scenario variants.
+
+    Safe to share across sequential simulations: :meth:`CDNSimulator.epoch_problem`
+    resets all fleet allocation/power state before every problem build, so the
+    substrate carries no simulation history between runs. An explicitly
+    supplied footprint bypasses the cache (its identity is not part of the key).
+    """
+    if footprint is not None:
+        return _build_substrate(scenario, footprint)
+    key = _substrate_key(scenario)
+    if key in _SUBSTRATE_CACHE:
+        _SUBSTRATE_CACHE.move_to_end(key)
+        return _SUBSTRATE_CACHE[key]
+    value = _build_substrate(scenario, None)
+    _SUBSTRATE_CACHE[key] = value
+    while len(_SUBSTRATE_CACHE) > _SUBSTRATE_CACHE_MAX:
+        _SUBSTRATE_CACHE.popitem(last=False)
+    return value
+
+
+def clear_substrate_cache() -> None:
+    """Drop every cached scenario substrate."""
+    _SUBSTRATE_CACHE.clear()
+
+
 @dataclass
 class CDNSimulator:
     """Year-long CDN simulation for one scenario."""
@@ -61,41 +153,15 @@ class CDNSimulator:
     def __post_init__(self) -> None:
         scenario = self.scenario
         catalog = default_city_catalog()
-        zone_catalog = default_zone_catalog()
-        footprint = self.footprint or build_cdn_footprint(seed=scenario.seed)
-        sites = [s for s in footprint.one_per_city() if s.continent == scenario.continent]
-        if scenario.max_sites is not None and len(sites) > scenario.max_sites:
-            # Keep the most populous cities so demand weighting stays meaningful.
-            sites = sorted(sites, key=lambda s: -s.population_k)[: scenario.max_sites]
-        if len(sites) < 2:
-            raise ValueError("CDN scenario needs at least two sites")
-        from repro.datasets.akamai import CDNFootprint as _FP
-        restricted = _FP(sites=tuple(sites))
-
-        capacity_weights = None
-        if scenario.capacity == "population":
-            capacity_weights = capacity_weights_from_population(
-                [s.city_name for s in sites], catalog)
-        accelerator = DEVICE_CATALOG[scenario.accelerator]
-        self.fleet = build_cdn_fleet(
-            restricted,
-            servers_per_site=scenario.servers_per_site,
-            accelerator=accelerator,
-            accelerator_mix=list(scenario.accelerator_mix) if scenario.accelerator_mix else None,
-            capacity_weights=capacity_weights,
-            seed=scenario.seed,
-        )
-
+        self.fleet, self.latency, self.carbon = scenario_substrate(
+            scenario, self.footprint)
+        # The substrate may be shared with a previous simulator of the same
+        # key; restore the freshly-built fleet baseline (no allocations, all
+        # servers on) so the constructor contract is cache-independent.
+        self.fleet.reset_allocations()
+        for server in self.fleet.servers():
+            server.power_on()
         site_names = self.fleet.sites()
-        cities = [catalog.get(name) for name in site_names]
-        self.latency = build_latency_matrix(
-            site_names, catalog.coordinates_array(site_names),
-            countries=[c.state or c.country for c in cities])
-
-        zone_ids = sorted({dc.zone_id for dc in self.fleet})
-        traces = SyntheticTraceGenerator(seed=scenario.seed).generate_set(
-            zone_catalog.get(z) for z in zone_ids)
-        self.carbon = CarbonIntensityService(traces=traces)
 
         site_weights = None
         if scenario.demand == "population":

@@ -34,9 +34,9 @@ objective-equal servers are ordered by the tie-break matrix — one-way latency
 for the carbon/energy/intensity objectives, operational carbon for the
 latency objective — and remaining exact ties resolve to the lowest server
 index. This replaces the seed's object-based ``greedy_place`` engine, whose
-lexicographic ``(cost, tie)`` rule it reproduces up to that epsilon
-(``tests/test_greedy_parity.py`` keeps the old engine as a regression
-oracle).
+lexicographic ``(cost, tie)`` rule it reproduces up to that epsilon (a frozen
+copy of the old engine served as a parity oracle for one release and has
+since been retired).
 """
 
 from __future__ import annotations

@@ -1,0 +1,59 @@
+"""Smoke tests of the ``carbon-edge`` CLI (experiments list / run)."""
+
+import json
+
+import pytest
+
+from repro.cli import carbon_edge_main
+from repro.experiments import registry
+from repro.experiments.results import ARTIFACT_VERSION
+
+
+def test_experiments_list_prints_every_spec(capsys):
+    assert carbon_edge_main(["experiments", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in registry.names():
+        assert name in out
+    assert "sweep" in out and "continents" in out
+
+
+def test_experiments_run_writes_validated_artifacts(tmp_path, capsys):
+    rc = carbon_edge_main(["experiments", "run", "fig07", "table1", "--smoke",
+                           "--workers", "2", "--output-dir", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ran 2 experiment(s) at smoke scale" in out
+    for name in ("fig07", "table1"):
+        payload = json.loads((tmp_path / f"{name}.json").read_text())
+        assert payload["version"] == ARTIFACT_VERSION
+        assert payload["name"] == name
+        assert payload["smoke"] is True
+        assert payload["artifact"]
+
+
+def test_experiments_run_no_write_leaves_no_artifacts(tmp_path, capsys):
+    rc = carbon_edge_main(["experiments", "run", "fig07", "--smoke", "--no-write",
+                           "--output-dir", str(tmp_path)])
+    assert rc == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+@pytest.mark.parametrize("argv", [
+    ["experiments", "run"],                              # nothing selected
+    ["experiments", "run", "fig99", "--smoke"],          # unknown name
+    ["experiments", "run", "fig07", "--all", "--smoke"],  # names and --all
+    ["experiments", "run", "fig07", "--workers", "0"],   # bad worker count
+])
+def test_experiments_run_rejects_bad_invocations(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        carbon_edge_main(argv)
+    assert excinfo.value.code != 0
+
+
+def test_quickstart_subcommand_places_applications(capsys):
+    rc = carbon_edge_main(["quickstart", "--backend", "heuristic",
+                           "--time-budget-s", "0.05"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "CarbonEdge placement" in out
+    assert "savings" in out

@@ -1,0 +1,115 @@
+"""Tests of the declarative experiment registry and the results layer.
+
+The round-trip test is the registry's contract: every registered spec builds,
+runs at smoke scale through the scenario runner, passes its declared artifact
+schema, and survives JSON serialisation unchanged.
+"""
+
+import pytest
+
+from repro.experiments import registry
+from repro.experiments.registry import ExperimentSpec, RunContext, SweepAxis
+from repro.experiments.results import (
+    ArtifactSchemaError,
+    ExperimentResult,
+    jsonable,
+)
+from repro.simulator.runner import ScenarioRunner
+
+#: Every artifact of the paper's evaluation, in paper order.
+EXPECTED_NAMES = [
+    "fig01", "fig02", "fig03", "fig04", "table1", "fig05", "fig07", "fig08",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "fig17",
+]
+
+
+def test_every_paper_artifact_is_registered():
+    assert registry.names() == EXPECTED_NAMES
+    for spec in registry.all_specs():
+        assert spec.title
+        assert spec.kind in ("figure", "table")
+
+
+def test_get_unknown_experiment_raises():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        registry.get("fig99")
+
+
+def test_register_duplicate_name_raises_except_for_main_reexecution():
+    spec = registry.get("fig01")
+
+    def duplicate_compute(spec, ctx):
+        return {}
+
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register(
+            ExperimentSpec(name="fig01", title="dup", kind="figure",
+                           compute=duplicate_compute))
+    # `python -m repro.experiments.figXX` re-executes the module as __main__;
+    # that re-registration must resolve to the canonical spec, not fail.
+    duplicate_compute.__module__ = "__main__"
+    reregistered = registry.register(
+        ExperimentSpec(name="fig01", title="dup", kind="figure",
+                       compute=duplicate_compute))
+    assert reregistered is spec
+    assert registry.get("fig01") is spec
+
+
+def _noop_compute(spec, ctx):
+    return {}
+
+
+def test_spec_rejects_bad_kind_and_undeclared_axes():
+    with pytest.raises(ValueError, match="kind"):
+        ExperimentSpec(name="x", title="t", kind="plot", compute=_noop_compute)
+    with pytest.raises(ValueError, match="sweep axis"):
+        ExperimentSpec(name="x", title="t", kind="figure", compute=_noop_compute,
+                       sweep=(SweepAxis("missing"),))
+    with pytest.raises(ValueError, match="tuple-valued"):
+        ExperimentSpec(name="x", title="t", kind="figure", compute=_noop_compute,
+                       params=dict(n=3), sweep=(SweepAxis("n"),))
+    with pytest.raises(ValueError, match="smoke_params"):
+        ExperimentSpec(name="x", title="t", kind="figure", compute=_noop_compute,
+                       params=dict(n=3), smoke_params=dict(m=1))
+
+
+def test_resolved_params_layering():
+    spec = registry.get("fig11")
+    full = spec.resolved_params()
+    smoke = spec.resolved_params(smoke=True)
+    assert full["n_epochs"] == 12 and smoke["n_epochs"] == 1
+    # Overrides apply only where the spec declares the parameter.
+    assert spec.resolved_params(overrides={"seed": 99})["seed"] == 99
+    no_seed = registry.get("table1")
+    assert "seed" not in no_seed.resolved_params(overrides={"seed": 99})
+
+
+def test_jsonable_conversions():
+    import numpy as np
+
+    assert jsonable({("a", "b"): np.float64(1.5)}) == {"a|b": 1.5}
+    assert jsonable({200.0: np.arange(3)}) == {"200.0": [0, 1, 2]}
+    assert jsonable((1, "x", None)) == [1, "x", None]
+    assert jsonable(float("nan")) == "NaN"
+    with pytest.raises(TypeError, match="non-JSON-serialisable"):
+        jsonable({"bad": object()})
+
+
+def test_experiment_result_schema_validation():
+    result = ExperimentResult(name="x", kind="figure", params={}, artifact={"a": 1})
+    result.validate(("a",))
+    with pytest.raises(ArtifactSchemaError, match="missing"):
+        result.validate(("a", "b"))
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+def test_registry_round_trip_at_smoke_scale(name):
+    """Every spec runs at smoke scale, validates, and survives serialisation."""
+    spec = registry.get(name)
+    result = ScenarioRunner(workers=1, smoke=True).run_one(name)
+    result.validate(spec.schema)
+    rebuilt = ExperimentResult.from_json(result.to_json())
+    assert rebuilt == result
+    assert rebuilt.name == name and rebuilt.smoke is True
+    assert rebuilt.to_json() == result.to_json()
