@@ -26,9 +26,10 @@ from pathlib import Path
 
 from repro.core.policies.carbon_edge import CarbonEdgePolicy
 from repro.core.validation import validate_solution
-from repro.simulator.cdn import CDNSimulator
+from repro.experiments.fig17_scalability import _build_problem
+from repro.simulator.cdn import CDNSimulator, default_policies
 from repro.simulator.scenario import CDNScenario
-from repro.solver.compile import clear_compilation
+from repro.solver.compile import clear_compilation, compile_placement
 
 #: Where the timing trajectory is appended (repo root).
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_cdn_pipeline.json"
@@ -93,6 +94,79 @@ def test_bench_cdn_pipeline(bench_once):
     assert compiled_s <= TIME_CEILING_S, (
         f"compiled pipeline took {compiled_s:.1f} s "
         f"(ceiling: {TIME_CEILING_S:.0f} s)")
+
+
+#: Shard count of the intra-unit sharding benchmark (matches the CLI default
+#: recommendation for one mid-size machine).
+EPOCH_SHARDS = 4
+
+#: Required sharded-vs-serial epoch-loop speedup at full scale. Smoke scale
+#: only checks the determinism contract (CI machines make timing assertions
+#: there meaningless).
+SHARD_SPEEDUP_FLOOR = 1.5
+
+#: Fig17-scale epoch-loop instances: (n_servers, n_apps, repeats).
+SHARD_BENCH_SIZES = ((400, 140, 6), (400, 600, 3)) if not _SMOKE \
+    else ((100, 60, 2),)
+
+
+def test_bench_epoch_shard_speedup(bench_once):
+    """The intra-unit sharding claim: >= 1.5x epoch-loop speedup at
+    fig17-scale with 4 shards, bit-identical solutions.
+
+    The timed region is the CDN epoch loop's solve body — the four paper
+    policies solving one compiled placement problem — on fig17-scale
+    instances (400-server fleet). Scenario setup and the per-objective dense
+    tensors are warmed outside the timed region for both arms, so the
+    comparison isolates exactly what the sharding layer changes.
+    """
+    serial_s = sharded_s = 0.0
+    placements: dict = {}
+
+    def run_all():
+        nonlocal serial_s, sharded_s
+        for n_servers, n_apps, repeats in SHARD_BENCH_SIZES:
+            problem = _build_problem(n_servers, n_apps, seed=1)
+            compile_placement(problem)
+            for shards in (1, EPOCH_SHARDS):
+                policies = default_policies("greedy", epoch_shards=shards)
+                for policy in policies:  # warm the per-objective tensors
+                    policy.timed_place(problem)
+                start = time.monotonic()
+                for _ in range(repeats):
+                    solutions = [p.timed_place(problem) for p in policies]
+                elapsed = time.monotonic() - start
+                if shards == 1:
+                    serial_s += elapsed
+                else:
+                    sharded_s += elapsed
+                key = (n_servers, n_apps, shards)
+                placements[key] = [s.placements for s in solutions]
+        return serial_s, sharded_s
+
+    bench_once(run_all)
+    # Determinism contract: sharded placements are identical to serial.
+    for n_servers, n_apps, _ in SHARD_BENCH_SIZES:
+        assert placements[(n_servers, n_apps, 1)] == \
+            placements[(n_servers, n_apps, EPOCH_SHARDS)], \
+            f"sharded epoch loop diverged at ({n_servers}, {n_apps})"
+    speedup = serial_s / max(sharded_s, 1e-9)
+    print(f"\nepoch loop (fig17-scale, {EPOCH_SHARDS} shards): "
+          f"serial {serial_s:.3f} s, sharded {sharded_s:.3f} s, "
+          f"speedup {speedup:.2f}x")
+    _append_trajectory({
+        "scale": "smoke" if _SMOKE else "full",
+        "benchmark": "epoch_shard_speedup",
+        "sizes": [[s, a] for s, a, _ in SHARD_BENCH_SIZES],
+        "epoch_shards": EPOCH_SHARDS,
+        "serial_epoch_s": round(serial_s, 4),
+        "sharded_epoch_s": round(sharded_s, 4),
+        "shard_speedup": round(speedup, 2),
+    })
+    if not _SMOKE:
+        assert speedup >= SHARD_SPEEDUP_FLOOR, (
+            f"sharded epoch loop speedup {speedup:.2f}x is below the "
+            f"{SHARD_SPEEDUP_FLOOR}x floor")
 
 
 def test_bench_exact_backend_is_deterministic(bench_once):

@@ -33,7 +33,7 @@ setup(
         "scipy>=1.9",
     ],
     extras_require={
-        "test": ["pytest", "pytest-benchmark"],
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
     },
     entry_points={
         "console_scripts": [

@@ -146,6 +146,13 @@ def build_carbon_edge_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--workers", type=int, default=1, metavar="N",
                          help="worker processes; results are identical for any "
                               "worker count (default: 1)")
+    run_cmd.add_argument("--epoch-shards", type=int, default=1, metavar="N",
+                         help="intra-unit shards for the dense placement kernel "
+                              "(experiments that take an epoch_shards parameter "
+                              "solve each epoch on N-way worker pools; artifacts "
+                              "are bit-identical for any value, epochs below the "
+                              "shard-size threshold fall back to serial; "
+                              "default: 1)")
     run_cmd.add_argument("--seed", type=int, default=None,
                          help="override the seed of every experiment that takes one")
     run_cmd.add_argument("--output-dir", default="artifacts", metavar="DIR",
@@ -190,8 +197,11 @@ def _experiments_run(args: argparse.Namespace, parser: argparse.ArgumentParser) 
                      f"registered: {', '.join(known)}")
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.epoch_shards < 1:
+        parser.error(f"--epoch-shards must be >= 1, got {args.epoch_shards}")
 
-    runner = ScenarioRunner(workers=args.workers, smoke=args.smoke, seed=args.seed)
+    runner = ScenarioRunner(workers=args.workers, smoke=args.smoke, seed=args.seed,
+                            epoch_shards=args.epoch_shards)
     start = time.perf_counter()
     results = runner.run(names)
     elapsed = time.perf_counter() - start

@@ -19,6 +19,7 @@ from abc import ABC, abstractmethod
 
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
+from repro.solver.config import SolverConfig
 
 
 class PlacementPolicy(ABC):
@@ -26,6 +27,15 @@ class PlacementPolicy(ABC):
 
     #: Human-readable policy name (used in experiment tables).
     name: str = "policy"
+
+    def solver_config(self) -> SolverConfig:
+        """Execution configuration forwarded to the solver registry.
+
+        Reads the policy's ``epoch_shards`` field when it declares one
+        (:class:`SolverConfig` validates it), so every solver-backed policy
+        shares one plumbing path for execution knobs.
+        """
+        return SolverConfig(epoch_shards=getattr(self, "epoch_shards", 1))
 
     @abstractmethod
     def place(self, problem: PlacementProblem,

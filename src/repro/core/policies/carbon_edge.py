@@ -66,6 +66,9 @@ class CarbonEdgePolicy(PlacementPolicy):
     max_nodes / time_limit_s:
         Node and wall-clock budget forwarded to the solver backends (the node
         budget only applies to branch and bound).
+    epoch_shards:
+        Intra-epoch shards for the dense greedy kernel (bit-identical
+        solutions for every value; see :mod:`repro.solver.compile`).
     """
 
     alpha: float = 0.0
@@ -73,6 +76,7 @@ class CarbonEdgePolicy(PlacementPolicy):
     manage_power: bool = True
     max_nodes: int = 200
     time_limit_s: float = 30.0
+    epoch_shards: int = 1
     name: str = "CarbonEdge"
 
     def __post_init__(self) -> None:
@@ -98,4 +102,5 @@ class CarbonEdgePolicy(PlacementPolicy):
             time_budget_s=self.time_limit_s,
             warm_start=warm_start,
             max_nodes=self.max_nodes,
+            config=self.solver_config(),
         )

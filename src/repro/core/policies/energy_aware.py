@@ -26,6 +26,7 @@ class EnergyAwarePolicy(PlacementPolicy):
     solver: str = "auto"
     max_nodes: int = 100
     time_limit_s: float = 15.0
+    epoch_shards: int = 1
     name: str = "Energy-aware"
 
     def __post_init__(self) -> None:
@@ -40,4 +41,5 @@ class EnergyAwarePolicy(PlacementPolicy):
             time_budget_s=self.time_limit_s,
             warm_start=warm_start,
             max_nodes=self.max_nodes,
+            config=self.solver_config(),
         )

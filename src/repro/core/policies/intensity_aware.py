@@ -25,9 +25,11 @@ from repro.solver import registry
 class IntensityAwarePolicy(PlacementPolicy):
     """Assign each application to the feasible server with the lowest carbon intensity."""
 
+    epoch_shards: int = 1
     name: str = "Intensity-aware"
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:
         return registry.solve(problem, backend="greedy",
-                              objective=ObjectiveKind.INTENSITY, warm_start=warm_start)
+                              objective=ObjectiveKind.INTENSITY, warm_start=warm_start,
+                              config=self.solver_config())

@@ -26,9 +26,11 @@ from repro.solver import registry
 class LatencyAwarePolicy(PlacementPolicy):
     """Assign each application to the lowest-latency server with capacity."""
 
+    epoch_shards: int = 1
     name: str = "Latency-aware"
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:
         return registry.solve(problem, backend="greedy",
-                              objective=ObjectiveKind.LATENCY, warm_start=warm_start)
+                              objective=ObjectiveKind.LATENCY, warm_start=warm_start,
+                              config=self.solver_config())

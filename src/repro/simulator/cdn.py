@@ -38,13 +38,20 @@ from repro.workloads.demand import capacity_weights_from_population, population_
 from repro.workloads.generator import ApplicationGenerator
 
 
-def default_policies(solver: str = "greedy") -> list[PlacementPolicy]:
-    """The four policies the paper compares (Section 6.1.3)."""
+def default_policies(solver: str = "greedy",
+                     epoch_shards: int = 1) -> list[PlacementPolicy]:
+    """The four policies the paper compares (Section 6.1.3).
+
+    ``epoch_shards`` is the per-epoch shard dispatch width: every policy's
+    greedy construction partitions the compiled epoch tensors along the
+    application axis and solves shards on a worker pool, bit-identically to
+    the serial kernel (so sharding never changes a policy comparison).
+    """
     return [
-        LatencyAwarePolicy(),
-        EnergyAwarePolicy(solver=solver),
-        IntensityAwarePolicy(),
-        CarbonEdgePolicy(solver=solver),
+        LatencyAwarePolicy(epoch_shards=epoch_shards),
+        EnergyAwarePolicy(solver=solver, epoch_shards=epoch_shards),
+        IntensityAwarePolicy(epoch_shards=epoch_shards),
+        CarbonEdgePolicy(solver=solver, epoch_shards=epoch_shards),
     ]
 
 
@@ -211,7 +218,8 @@ class CDNSimulator:
         comparison the paper's evaluation relies on, without each policy
         paying for its own copy of the same precomputation.
         """
-        policies = policies if policies is not None else default_policies(self.scenario.solver)
+        policies = policies if policies is not None else default_policies(
+            self.scenario.solver, self.scenario.epoch_shards)
         result = SimulationResult(scenario_name=f"CDN-{self.scenario.continent}")
         for epoch in range(self.scenario.n_epochs):
             problem = self.epoch_problem(epoch)

@@ -41,6 +41,12 @@ class CDNScenario:
         Optional cap on the number of CDN cities simulated (keeps tests fast).
     solver:
         Solver strategy handed to the optimisation-based policies.
+    epoch_shards:
+        Intra-epoch shard count for the dense greedy kernel: each epoch's
+        compiled tensors are partitioned along the application axis and
+        solved on a worker pool. Solutions — and therefore every simulation
+        artifact — are bit-identical for any value (see
+        :mod:`repro.solver.compile`); ``1`` keeps the serial kernel.
     seed:
         Root seed for arrivals and trace generation.
     """
@@ -58,6 +64,7 @@ class CDNScenario:
     request_rate_rps: float = 10.0
     max_sites: int | None = None
     solver: str = "greedy"
+    epoch_shards: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -77,6 +84,8 @@ class CDNScenario:
             raise ValueError("servers_per_site must be positive")
         if self.max_sites is not None and self.max_sites <= 1:
             raise ValueError("max_sites must be at least 2")
+        if self.epoch_shards < 1:
+            raise ValueError(f"epoch_shards must be >= 1, got {self.epoch_shards}")
 
     @property
     def hours_per_epoch(self) -> int:

@@ -35,6 +35,7 @@ The registry symbols are exported lazily so that importing
 (circular) import of the placement problem types.
 """
 
+from repro.solver.config import SolverConfig
 from repro.solver.milp import MILPModel, Variable, LinearConstraint, VariableKind
 from repro.solver.result import SolveResult, SolveStatus
 from repro.solver.lp_relaxation import solve_lp_relaxation
@@ -48,6 +49,7 @@ __all__ = [
     "VariableKind",
     "SolveResult",
     "SolveStatus",
+    "SolverConfig",
     "solve_lp_relaxation",
     "BranchAndBoundSolver",
     "round_and_repair",
@@ -61,8 +63,11 @@ __all__ = [
     "SolveRequest",
     "EpochCompilation",
     "DenseCosts",
+    "ShardPlan",
     "compile_placement",
     "clear_compilation",
+    "greedy_fill_sharded",
+    "plan_shards",
 ]
 
 _LAZY_REGISTRY_EXPORTS = {
@@ -70,7 +75,8 @@ _LAZY_REGISTRY_EXPORTS = {
 }
 _LAZY_BACKEND_EXPORTS = {"PlacementSolver", "SolveRequest"}
 _LAZY_COMPILE_EXPORTS = {
-    "EpochCompilation", "DenseCosts", "compile_placement", "clear_compilation",
+    "EpochCompilation", "DenseCosts", "ShardPlan", "compile_placement",
+    "clear_compilation", "greedy_fill_sharded", "plan_shards",
 }
 
 

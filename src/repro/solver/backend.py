@@ -38,6 +38,7 @@ from repro.solver.compile import (  # noqa: F401  (re-exported for compatibility
     bool_all,
     compile_placement,
 )
+from repro.solver.config import DEFAULT_SOLVER_CONFIG, SolverConfig
 
 
 @dataclass
@@ -66,6 +67,11 @@ class SolveRequest:
         Node budget for the branch-and-bound backend (ignored by the others).
     seed:
         Seed for the randomised backends (randomized rounding).
+    config:
+        Execution configuration (:class:`~repro.solver.config.SolverConfig`):
+        intra-epoch shard count and serial-fallback threshold for the dense
+        greedy kernel. Carries a determinism contract — it changes how fast
+        the answer is produced, never which answer comes back.
     """
 
     problem: PlacementProblem
@@ -76,6 +82,7 @@ class SolveRequest:
     warm_start: dict[str, int] | None = None
     max_nodes: int | None = None
     seed: int = 0
+    config: SolverConfig = DEFAULT_SOLVER_CONFIG
     started_at: float = field(default_factory=time.monotonic)
 
     def __post_init__(self) -> None:

@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.core.solution import PlacementSolution
 from repro.solver.backend import SolveRequest, solution_from_assignment
-from repro.solver.compile import DenseCosts, GreedyState, bool_all, greedy_fill
+from repro.solver.compile import (
+    DenseCosts,
+    GreedyState,
+    bool_all,
+    greedy_fill,
+    greedy_fill_sharded,
+)
 from repro.solver.registry import register_backend
 
 #: Local-search wall-clock budget when the request carries none.
@@ -59,7 +65,17 @@ class GreedyLocalSearchBackend:
     def solve(self, request: SolveRequest) -> PlacementSolution | None:
         state = GreedyState(request.dense())
         self._apply_warm_start(request, state)
-        greedy_fill(state, request.problem.energy_j)
+        # The shard-aware construction path: with ``config.epoch_shards > 1``
+        # the compiled epoch tensors are partitioned along the application
+        # axis and filled on a worker pool — bit-identical to the serial
+        # kernel by the planner's independence certificates, so backends stay
+        # deterministic for every shard count.
+        shards = request.config.epoch_shards
+        if shards > 1:
+            greedy_fill_sharded(state, request.problem.energy_j, shards,
+                                request.config.min_shard_apps)
+        else:
+            greedy_fill(state, request.problem.energy_j)
         if self.local_search:
             self._improve(request, state)
         return solution_from_assignment(request, state.assignment)

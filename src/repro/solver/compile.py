@@ -41,7 +41,10 @@ since been retired).
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
+from typing import Sequence
 
 import numpy as np
 
@@ -54,6 +57,7 @@ from repro.core.objective import (
 )
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
+from repro.solver.config import MIN_SHARD_APPS
 
 @dataclass
 class DenseCosts:
@@ -161,6 +165,20 @@ class GreedyState:
         self.capacity_left = dense.capacity.copy()
         self.served = np.zeros(n_servers, dtype=int)
 
+    def clone(self) -> "GreedyState":
+        """Independent copy of the mutable state over the same shared tensors.
+
+        Shard workers solve against clones so concurrent shards never mutate
+        the shared state; the reconciliation pass replays their placements
+        into the original afterwards.
+        """
+        other = GreedyState.__new__(GreedyState)
+        other.dense = self.dense
+        other.assignment = self.assignment.copy()
+        other.capacity_left = self.capacity_left.copy()
+        other.served = self.served.copy()
+        return other
+
     def would_activate(self) -> np.ndarray:
         """(S,) bool: servers an assignment would newly switch on right now."""
         return (self.served == 0) & ~self.dense.initially_on
@@ -178,7 +196,31 @@ class GreedyState:
         self.place(i, j1)
 
 
-def greedy_fill(state: GreedyState, energy_j: np.ndarray) -> None:
+def _pending_order(state: GreedyState, energy_j: np.ndarray,
+                   apps: Sequence[int] | None = None) -> list[int]:
+    """Still-unassigned applications in the kernel's processing order.
+
+    Most-constrained first: fewest candidate servers, then larger maximum
+    energy among equals; the stable sort resolves remaining ties by
+    application index. Restricting to ``apps`` yields the same *relative*
+    order as the full sort (stability), which is what makes per-shard
+    processing order-compatible with the serial kernel. Implemented as a
+    stable ``np.lexsort`` over the same keys the original per-application
+    tuple sort compared, so the order is unchanged.
+    """
+    dense = state.dense
+    candidates = range(len(state.assignment)) if apps is None else apps
+    pending = [int(i) for i in candidates if state.assignment[i] < 0]
+    if len(pending) <= 1:
+        return pending
+    idx = np.asarray(pending, dtype=int)
+    counts = dense.mask[idx].sum(axis=1)
+    max_energy = energy_j[idx].max(axis=1, initial=0.0)
+    return [pending[k] for k in np.lexsort((-max_energy, counts))]
+
+
+def greedy_fill(state: GreedyState, energy_j: np.ndarray,
+                apps: Sequence[int] | None = None) -> None:
     """THE greedy placement kernel (every policy and backend routes here).
 
     Places each still-unassigned application at its cheapest marginal-cost
@@ -187,18 +229,374 @@ def greedy_fill(state: GreedyState, energy_j: np.ndarray) -> None:
     fills up), marginal cost = tie-broken assignment cost plus the activation
     cost when the assignment would switch the server on. ``np.argmin`` picks
     the lowest server index among exact ties.
+
+    ``apps`` restricts the fill to a subset of applications (the intra-epoch
+    shard path); ``None`` processes every unassigned application.
+
+    An application is only ever placed at a *finite* marginal cost: when every
+    feasible candidate costs ``+inf`` (possible only for hand-built cost
+    matrices — the compiled objective coefficients are finite inside the
+    mask), the application stays unplaced instead of landing on ``argmin``'s
+    arbitrary index-0 tie, which could fall outside the candidate mask.
     """
     dense = state.dense
-    pending = [i for i in range(len(state.assignment)) if state.assignment[i] < 0]
-    pending.sort(key=lambda i: (int(dense.mask[i].sum()),
-                                -float(energy_j[i].max(initial=0.0))))
-    for i in pending:
+    for i in _pending_order(state, energy_j, apps):
         feasible = dense.mask[i] & dense.fits(i, state.capacity_left)
         if not feasible.any():
             continue
         marginal = dense.cost[i] + dense.activation * state.would_activate()
         marginal = np.where(feasible, marginal, np.inf)
-        state.place(i, int(np.argmin(marginal)))
+        j = int(np.argmin(marginal))
+        if np.isfinite(marginal[j]):
+            state.place(i, j)
+
+
+# -- intra-epoch sharding ------------------------------------------------------
+#
+# The sharded kernel partitions the compiled epoch tensors along the
+# application axis and solves independent shards on a worker pool, with a
+# determinism contract: for every shard count the merged solution — and the
+# full GreedyState (assignment, remaining capacity, served counts, down to
+# float arithmetic order) — is bit-identical to the serial kernel's. The
+# contract is proof-based rather than hopeful: shards only ever commit
+# decisions that are provably identical to the serial interleaving's, and
+# anything unprovable is re-derived by the exact serial step during
+# reconciliation (ultimately falling back to the serial kernel wholesale).
+#
+# Two state channels couple applications in ``greedy_fill``:
+#
+# * capacity  — a placement shrinks ``capacity_left`` on its server, which can
+#   flip a later application's ``fits`` there; capacity is *monotone*: it only
+#   ever shrinks during a fill.
+# * activation — the first placement on an initially-off server zeroes its
+#   ``would_activate`` term, changing later marginal costs on that server.
+#
+# **Speculative mode** (the production CDN path) applies whenever the
+# activation channel is provably cold — every server is initially on, already
+# serving, or carries a zero activation cost — which makes each application's
+# marginal-cost row exactly its static ``dense.cost`` row at every point of
+# the fill. Shards then compute, for their slice of the application axis in
+# one batched row-argmin, the *speculative winner*: the globally cheapest
+# masked candidate, ignoring capacity entirely. The certificate is that no
+# better candidate exists at all: the serial kernel minimises the same cost
+# row over a *subset* of the mask (the candidates that fit at the
+# application's turn), so whenever the speculative winner itself fits at that
+# turn it IS the serial argmin — same minimum, same lowest-index tie. The
+# serial-order reconciliation replay therefore only has to re-check the
+# winner against the evolving shared capacity — an O(K) scalar test —
+# committing it when it fits and re-running the exact serial step for that
+# application when it does not (or when the row had no finite candidate).
+# Replay applies placements through the same ``place()`` calls in the same
+# order as the serial kernel, so the shared state reproduces the serial
+# float arithmetic byte for byte. NOTE for maintainers: the per-application
+# revalidation is load-bearing — the speculation never looked at capacity,
+# so skipping it for any "known-fitting" winner breaks the contract.
+#
+# **Component mode** handles live activation coupling. A server is **hot**
+# when a coupling can actually fire during this fill: *contended* (the summed
+# demand of every pending application that could choose it exceeds its
+# remaining capacity, less a float-drift safety slack) or
+# *activation-coupled* (initially off, nonzero activation cost, not yet
+# serving). On a non-hot server, ``fits`` holds for every interested
+# application no matter which subset places there, and the activation term is
+# identically zero — placements there are invisible to every other
+# application. An application touching no hot server is **free** (a pure row
+# argmin, order-independent); coupled applications group into connected
+# components over shared hot servers, which touch disjoint hot-server sets by
+# construction and therefore evolve their hot state exactly as in the serial
+# interleaving while running on different shards. Component mode is first a
+# correctness-preserving degradation path: free chunks vectorise (and release
+# the GIL), but coupled bins run the per-application Python loop under the
+# GIL, so heavily coupled epochs approach serial speed plus the planning
+# overhead rather than a real multi-core win.
+
+
+@dataclass
+class ShardPlan:
+    """One epoch's provably-equivalent partition of the pending applications.
+
+    Attributes
+    ----------
+    mode:
+        ``"speculate"`` (cold activation channel: batched speculative choices
+        plus an O(K)-per-application validation replay) or ``"components"``
+        (live activation coupling: free chunks plus connected-component bins).
+    n_shards:
+        Requested shard count (worker-pool width).
+    order:
+        Every pending application in the serial kernel's processing order —
+        the replay order of the reconciliation pass.
+    free_chunks:
+        Per-shard slices of the application axis solved as one batched
+        operation each (all pending applications in speculative mode, the
+        provably order-independent ones in component mode).
+    bins:
+        Per-shard groups of coupled applications (whole connected components,
+        longest-processing-time balanced), each in serial processing order.
+        Empty in speculative mode.
+    hot:
+        (S,) bool — servers with provable capacity or activation coupling.
+    """
+
+    mode: str
+    n_shards: int
+    order: np.ndarray
+    free_chunks: list[np.ndarray]
+    bins: list[np.ndarray]
+    hot: np.ndarray
+
+    @property
+    def n_pending(self) -> int:
+        return len(self.order)
+
+    @property
+    def n_free(self) -> int:
+        return sum(len(c) for c in self.free_chunks)
+
+    @property
+    def n_coupled(self) -> int:
+        return sum(len(b) for b in self.bins)
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.free_chunks) + len(self.bins)
+
+    @property
+    def parallel_fraction(self) -> float:
+        """Share of pending applications outside the largest single task."""
+        if not self.n_pending:
+            return 0.0
+        largest = max((len(b) for b in self.bins), default=0)
+        largest = max(largest, max((len(c) for c in self.free_chunks), default=0))
+        return 1.0 - largest / self.n_pending
+
+    @property
+    def is_parallel(self) -> bool:
+        """Whether dispatching this plan beats calling the serial kernel."""
+        return self.n_tasks >= 2
+
+
+def plan_shards(state: GreedyState, energy_j: np.ndarray, n_shards: int,
+                min_shard_apps: int = MIN_SHARD_APPS) -> ShardPlan | None:
+    """Partition the pending applications into provably-equivalent shards.
+
+    Returns ``None`` when sharding cannot help: fewer than ``min_shard_apps``
+    pending applications, or a single shard requested. A returned plan may
+    still be degenerate (``is_parallel`` False) when every application
+    collapses into one coupled component — callers fall back to the serial
+    kernel in both cases.
+    """
+    if n_shards <= 1:
+        return None
+    dense = state.dense
+    order = np.asarray(_pending_order(state, energy_j), dtype=int)
+    if len(order) < min_shard_apps:
+        return None
+
+    mask_p = dense.mask[order]                      # (P, S)
+    activation_coupled = (dense.activation != 0.0) & ~dense.initially_on \
+        & (state.served == 0)
+
+    if not activation_coupled.any():
+        # Cold activation channel: marginal costs are constants, so the
+        # speculate-and-validate replay is exact for every application —
+        # shard the whole pending axis evenly. No contention analysis is
+        # needed (capacity conflicts surface as replay revalidations).
+        chunks = [c for c in np.array_split(order, n_shards) if len(c)]
+        return ShardPlan(mode="speculate", n_shards=n_shards, order=order,
+                         free_chunks=chunks, bins=[], hot=activation_coupled)
+
+    # Worst-case demand each server could attract from this fill: the summed
+    # demand of every pending application whose candidate set includes it.
+    interested = np.einsum("ps,psk->sk", mask_p.astype(float), dense.demand[order])
+    # Safety slack: the certificate compares a vectorised sum against what the
+    # serial kernel computes by sequential subtraction; the relative term
+    # covers any float reassociation drift (conservative by orders of
+    # magnitude), the absolute term mirrors the kernel's fits() tolerance.
+    slack = 1e-9 + 1e-7 * np.abs(state.capacity_left)
+    contended = bool_any(interested > state.capacity_left - slack)
+    hot = contended | activation_coupled
+
+    hot_idx = np.nonzero(hot)[0]
+    if len(hot_idx):
+        touches_hot = mask_p[:, hot_idx].any(axis=1)
+    else:
+        touches_hot = np.zeros(len(order), dtype=bool)
+    free = order[~touches_hot]
+    coupled = order[touches_hot]
+
+    free_chunks = [c for c in np.array_split(free, n_shards) if len(c)]
+    bins = _bin_components(_coupled_components(mask_p[touches_hot], hot_idx, coupled),
+                           n_shards)
+    return ShardPlan(mode="components", n_shards=n_shards, order=order,
+                     free_chunks=free_chunks, bins=bins, hot=hot)
+
+
+def bool_any(exceeds_per_key: np.ndarray) -> np.ndarray:
+    """Any-dimension reduction that tolerates a zero-width resource axis."""
+    if exceeds_per_key.shape[-1] == 0:
+        return np.zeros(exceeds_per_key.shape[:-1], dtype=bool)
+    return np.any(exceeds_per_key, axis=-1)
+
+
+def _coupled_components(coupled_mask: np.ndarray, hot_idx: np.ndarray,
+                        coupled: np.ndarray) -> list[np.ndarray]:
+    """Connected components of coupled applications over shared hot servers.
+
+    Two applications belong to the same component when a chain of shared hot
+    candidate servers links them. Min-label propagation over the bipartite
+    app/hot-server incidence converges in a handful of vectorised passes
+    (labels only decrease and are bounded below); each component comes back
+    in serial processing order, components ordered by their first application.
+    """
+    n = len(coupled)
+    if n == 0:
+        return []
+    rows, cols = np.nonzero(coupled_mask[:, hot_idx])
+    labels = np.arange(n)
+    for _ in range(n + 1):
+        server_min = np.full(len(hot_idx), n, dtype=int)
+        np.minimum.at(server_min, cols, labels[rows])
+        new = labels.copy()
+        np.minimum.at(new, rows, server_min[cols])
+        new = np.minimum(new, new[new])             # pointer jumping
+        if np.array_equal(new, labels):
+            break
+        labels = new
+    _, inverse = np.unique(labels, return_inverse=True)
+    return [coupled[inverse == k] for k in range(inverse.max() + 1)]
+
+
+def _bin_components(components: list[np.ndarray], n_shards: int) -> list[np.ndarray]:
+    """Balance whole components across at most ``n_shards`` bins (LPT rule).
+
+    Components never split — splitting one would break the independence
+    proof — so a single dominant component caps the achievable parallelism
+    (``ShardPlan.parallel_fraction`` reports exactly that).
+    """
+    if not components:
+        return []
+    n_bins = min(n_shards, len(components))
+    loads = [0] * n_bins
+    bins: list[list[int]] = [[] for _ in range(n_bins)]
+    by_size = sorted(range(len(components)), key=lambda c: (-len(components[c]), c))
+    for c in by_size:
+        b = min(range(n_bins), key=lambda k: (loads[k], k))
+        bins[b].append(c)
+        loads[b] += len(components[c])
+    return [np.concatenate([components[c] for c in sorted(chosen)])
+            for chosen in bins if chosen]
+
+
+def _argmin_chunk(dense: DenseCosts, apps: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Batched static-cost choices for one shard of the application axis.
+
+    One row argmin over ``dense.cost`` (``+inf`` outside the mask) per
+    application — same values, same lowest-index ties, same skip on an
+    infinite minimum as the serial kernel's
+    ``argmin(where(feasible, marginal, inf))`` whenever the activation term
+    vanishes on the row.
+
+    * For a *free* application (component mode) this IS the final placement:
+      fits always holds on its candidates, so feasible equals the mask at any
+      point of the fill.
+    * In speculative mode it is the *speculative winner*: capacity only
+      shrinks during a fill, so every candidate preferred over the winner at
+      the application's actual turn would also be preferred now — the
+      reconciliation replay therefore only re-checks the winner's own fit.
+
+    ``-1`` marks applications with no finite-cost candidate, which the
+    serial kernel provably leaves unplaced.
+    """
+    rows = dense.cost[apps]
+    choice = np.argmin(rows, axis=1).astype(int)
+    finite = np.isfinite(rows[np.arange(len(apps)), choice])
+    return apps, np.where(finite, choice, -1)
+
+
+def _solve_coupled_bin(state: GreedyState, energy_j: np.ndarray,
+                       apps: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Serial greedy fill of one bin of coupled components on a state clone.
+
+    The clone's hot-server state evolves exactly as the serial kernel's: only
+    this bin's applications can place on this bin's hot servers (components
+    are closed over hot candidates, free applications have none), and
+    placements elsewhere — by this bin on shared non-hot servers, or by other
+    shards anywhere — can never flip a fits() or marginal-cost comparison.
+    """
+    clone = state.clone()
+    greedy_fill(clone, energy_j, apps=apps)
+    return apps, clone.assignment[apps]
+
+
+def _run_tasks(tasks: list, n_workers: int) -> list:
+    """Execute shard tasks on a thread pool, preserving submission order."""
+    if len(tasks) == 1:
+        return [tasks[0]()]
+    with ThreadPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
+        return list(pool.map(lambda task: task(), tasks))
+
+
+def greedy_fill_sharded(state: GreedyState, energy_j: np.ndarray, n_shards: int,
+                        min_shard_apps: int = MIN_SHARD_APPS) -> ShardPlan | None:
+    """Sharded greedy placement, bit-identical to :func:`greedy_fill`.
+
+    Plans shards (:func:`plan_shards`), solves them on a thread pool —
+    batched speculative choices or free-chunk argmins as one vectorised
+    operation each, coupled component bins as serial fills on state clones —
+    and runs the shared-capacity reconciliation pass: every shard placement
+    is replayed into the shared state in the serial kernel's processing
+    order (re-validating speculative winners against the capacity rows their
+    candidates straddle, and re-deriving invalidated ones with the exact
+    serial step), so assignment, ``capacity_left`` and ``served`` reproduce
+    the serial kernel byte for byte. Falls back to the serial kernel
+    whenever the plan is missing or degenerate.
+
+    Returns the executed plan (``None`` when the serial kernel ran) so
+    callers can report shard diagnostics.
+    """
+    plan = plan_shards(state, energy_j, n_shards, min_shard_apps)
+    if plan is None or not plan.is_parallel:
+        greedy_fill(state, energy_j)
+        return plan
+    dense = state.dense
+    tasks = [partial(_argmin_chunk, dense, chunk) for chunk in plan.free_chunks]
+    tasks += [partial(_solve_coupled_bin, state, energy_j, apps)
+              for apps in plan.bins]
+    proposed = np.full(len(state.assignment), -1, dtype=int)
+    for apps, choices in _run_tasks(tasks, n_shards):
+        proposed[apps] = choices
+
+    if plan.mode != "speculate":
+        for i in plan.order:                        # the reconciliation pass
+            j = proposed[i]
+            if j >= 0:
+                state.place(int(i), int(j))
+        return plan
+
+    demand, capacity_left = dense.demand, state.capacity_left
+    for i in plan.order:                            # the reconciliation pass
+        j = proposed[i]
+        if j < 0:
+            continue
+        # O(K) revalidation of the speculative winner against the evolving
+        # shared capacity (the same comparison DenseCosts.fits performs).
+        if bool(np.all(demand[i, j] <= capacity_left[j] + 1e-9)):
+            state.place(int(i), int(j))
+            continue
+        # Invalidated winner: exact serial step, specialised to the cold
+        # activation channel the mode guarantees (the activation term is
+        # identically zero, and x + 0.0 == x for the argmin's purposes, so
+        # the marginal row is exactly the static cost row).
+        feasible = dense.mask[i] & bool_all(demand[i] <= capacity_left + 1e-9)
+        if not feasible.any():
+            continue
+        marginal = np.where(feasible, dense.cost[i], np.inf)
+        j2 = int(np.argmin(marginal))
+        if np.isfinite(marginal[j2]):
+            state.place(int(i), int(j2))
+    return plan
 
 
 def assignment_to_solution(problem: PlacementProblem, assignment: np.ndarray,

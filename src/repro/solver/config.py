@@ -1,4 +1,4 @@
-"""Dependency-free solver-layer constants.
+"""Dependency-free solver-layer constants and configuration.
 
 These live in their own module (importing nothing from the rest of the
 package) so that both the backend registry and the policy layer can read them
@@ -6,9 +6,54 @@ without creating an import cycle between :mod:`repro.solver` and
 :mod:`repro.core`.
 """
 
+from __future__ import annotations
+
+from dataclasses import dataclass
+
 #: "auto" switches from the exact to the heuristic backend above this number
 #: of candidate (application, server) pairs.
 AUTO_EXACT_PAIR_LIMIT: int = 4000
 
 #: "auto" never picks the exact backend with less than this much budget (s).
 AUTO_MIN_EXACT_BUDGET_S: float = 1.0
+
+#: Epochs with fewer pending applications than this solve serially even when
+#: sharding is requested — below it the shard planner and pool dispatch cost
+#: more than the per-application loop they replace.
+MIN_SHARD_APPS: int = 32
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Execution configuration of one solve, orthogonal to *what* is solved.
+
+    Everything here carries a determinism contract: changing it may change how
+    fast an answer is produced, never which answer. The objective, budgets,
+    and warm starts — the knobs that select *which* solution comes back —
+    live on :class:`~repro.solver.backend.SolveRequest` instead.
+
+    Parameters
+    ----------
+    epoch_shards:
+        Number of intra-epoch shards for the dense greedy kernel
+        (:func:`repro.solver.compile.greedy_fill_sharded`). ``1`` keeps the
+        serial kernel; higher values partition the compiled epoch tensors
+        along the application axis and solve independent shards on a worker
+        pool. Solutions are bit-identical for every value.
+    min_shard_apps:
+        Serial-fallback threshold: epochs with fewer pending applications are
+        solved serially regardless of ``epoch_shards``.
+    """
+
+    epoch_shards: int = 1
+    min_shard_apps: int = MIN_SHARD_APPS
+
+    def __post_init__(self) -> None:
+        if self.epoch_shards < 1:
+            raise ValueError(f"epoch_shards must be >= 1, got {self.epoch_shards}")
+        if self.min_shard_apps < 1:
+            raise ValueError(f"min_shard_apps must be >= 1, got {self.min_shard_apps}")
+
+
+#: Shared default configuration (serial kernel).
+DEFAULT_SOLVER_CONFIG = SolverConfig()

@@ -36,7 +36,12 @@ from repro.cluster.resources import ResourceVector
 from repro.core.objective import ObjectiveKind
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
-from repro.solver.config import AUTO_EXACT_PAIR_LIMIT, AUTO_MIN_EXACT_BUDGET_S
+from repro.solver.config import (
+    AUTO_EXACT_PAIR_LIMIT,
+    AUTO_MIN_EXACT_BUDGET_S,
+    DEFAULT_SOLVER_CONFIG,
+    SolverConfig,
+)
 
 if TYPE_CHECKING:  # imported lazily at runtime: backend -> compile -> core ->
     # policies -> registry would otherwise cycle on first import
@@ -138,6 +143,7 @@ def solve(
     warm_start: dict[str, int] | None = None,
     max_nodes: int | None = None,
     seed: int = 0,
+    config: SolverConfig | None = None,
 ) -> PlacementSolution:
     """Solve a placement problem with the requested backend.
 
@@ -159,6 +165,10 @@ def solve(
         Node budget for the branch-and-bound backend.
     seed:
         Seed for the randomised backends.
+    config:
+        Execution configuration (intra-epoch shard count for the dense greedy
+        kernel); defaults to the serial kernel. Bit-identical solutions for
+        every setting.
 
     Returns
     -------
@@ -172,7 +182,7 @@ def solve(
     request = SolveRequest(problem=problem, objective=objective, alpha=alpha,
                            manage_power=manage_power, time_budget_s=time_budget_s,
                            warm_start=warm_start, max_nodes=max_nodes, seed=seed,
-                           started_at=start)
+                           config=config or DEFAULT_SOLVER_CONFIG, started_at=start)
     name = resolve_backend_name(backend, request)
     solver = get_backend(name)
 

@@ -43,11 +43,53 @@ def test_experiments_run_no_write_leaves_no_artifacts(tmp_path, capsys):
     ["experiments", "run", "fig99", "--smoke"],          # unknown name
     ["experiments", "run", "fig07", "--all", "--smoke"],  # names and --all
     ["experiments", "run", "fig07", "--workers", "0"],   # bad worker count
+    ["experiments", "run", "fig07", "--epoch-shards", "0"],   # bad shard count
+    ["experiments", "run", "fig11", "--epoch-shards", "-2"],  # negative shards
 ])
 def test_experiments_run_rejects_bad_invocations(argv, capsys):
     with pytest.raises(SystemExit) as excinfo:
         carbon_edge_main(argv)
     assert excinfo.value.code != 0
+
+
+def test_unknown_experiment_error_names_the_registry(capsys):
+    with pytest.raises(SystemExit):
+        carbon_edge_main(["experiments", "run", "fig99", "--smoke"])
+    err = capsys.readouterr().err
+    assert "fig99" in err
+    for name in ("fig11", "table1"):
+        assert name in err  # the message lists what IS registered
+
+
+def test_experiments_list_output_is_stable(capsys):
+    """Two list invocations print byte-identical tables (no ordering or
+    timing noise in the registry projection)."""
+    assert carbon_edge_main(["experiments", "list"]) == 0
+    first = capsys.readouterr().out
+    assert carbon_edge_main(["experiments", "list"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    header = first.splitlines()[0].split()
+    assert header == ["name", "kind", "units", "sweep", "title"]
+
+
+def test_oversized_epoch_shards_write_byte_identical_artifacts(tmp_path, capsys):
+    """An --epoch-shards value far beyond the epoch's app count is safe: the
+    sharded run's fig11 artifact is byte-identical to the serial run's.
+    (fig11 smoke epochs sit *above* the shard-size threshold, so this drives
+    the sharded kernel; the sub-threshold serial fallback is covered by
+    tests/test_shard_properties.py and tests/test_scenario_runner.py.)"""
+    rc = carbon_edge_main(["experiments", "run", "fig11", "--smoke",
+                           "--output-dir", str(tmp_path / "serial")])
+    assert rc == 0
+    rc = carbon_edge_main(["experiments", "run", "fig11", "--smoke",
+                           "--epoch-shards", "16",
+                           "--output-dir", str(tmp_path / "sharded")])
+    assert rc == 0
+    capsys.readouterr()
+    serial = (tmp_path / "serial" / "fig11.json").read_bytes()
+    sharded = (tmp_path / "sharded" / "fig11.json").read_bytes()
+    assert serial == sharded
 
 
 def test_quickstart_subcommand_places_applications(capsys):

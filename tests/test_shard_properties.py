@@ -1,0 +1,277 @@
+"""Property-based invariants of the sharded placement kernel (hypothesis).
+
+The intra-epoch sharding layer (:mod:`repro.solver.compile`) carries a hard
+determinism contract: for every shard count, ``greedy_fill_sharded`` must be
+*bit-identical* to the serial ``greedy_fill`` — same assignment, same remaining
+capacity down to float arithmetic order, same served counts — across both
+execution modes (cold-channel speculation and hot-component bins). These tests
+hammer that contract plus the physical invariants every fill must uphold
+(capacity never exceeded, demand conservation) on randomized dense instances
+and on randomized :class:`~repro.core.problem.PlacementProblem`\\ s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.traces import TraceSet
+from repro.cluster.fleet import build_regional_fleet
+from repro.core.problem import PlacementProblem
+from repro.core.validation import validate_solution
+from repro.datasets.cities import default_city_catalog
+from repro.datasets.regions import CENTRAL_EU
+from repro.network.latency import build_latency_matrix
+from repro.solver.backend import SolveRequest
+from repro.solver.compile import (
+    DenseCosts,
+    GreedyState,
+    greedy_fill,
+    greedy_fill_sharded,
+    plan_shards,
+)
+from repro.solver.config import MIN_SHARD_APPS, SolverConfig
+from repro.solver.registry import get_backend
+from repro.workloads.application import Application
+
+SHARD_COUNTS = (1, 2, 4)
+
+# -- randomized dense instances ------------------------------------------------
+
+
+@st.composite
+def dense_instances(draw):
+    """A random DenseCosts + warm-started GreedyState + energy matrix.
+
+    Deliberately adversarial for the shard planner: contended capacity,
+    initially-off servers with nonzero (even negative) activation costs,
+    occasional ``inf`` costs inside the mask, and zero-width resource axes.
+    """
+    n_apps = draw(st.integers(1, 10))
+    n_servers = draw(st.integers(1, 6))
+    n_keys = draw(st.integers(0, 2))
+    mask = draw(hnp.arrays(bool, (n_apps, n_servers)))
+    capacity = draw(hnp.arrays(
+        float, (n_servers, n_keys),
+        elements=st.floats(0.0, 8.0, allow_nan=False, width=32)))
+    demand = draw(hnp.arrays(
+        float, (n_apps, n_servers, n_keys),
+        elements=st.floats(0.0, 5.0, allow_nan=False, width=32)))
+    finite_cost = draw(hnp.arrays(
+        float, (n_apps, n_servers),
+        elements=st.floats(-5.0, 5.0, allow_nan=False, width=32)))
+    inf_spots = draw(hnp.arrays(bool, (n_apps, n_servers)))
+    inject_inf = draw(st.booleans())
+    cost = np.where(mask, finite_cost, np.inf)
+    if inject_inf:
+        cost = np.where(inf_spots, np.inf, cost)
+    activation = draw(hnp.arrays(
+        float, (n_servers,),
+        elements=st.floats(-2.0, 4.0, allow_nan=False, width=32)))
+    initially_on = draw(hnp.arrays(bool, (n_servers,)))
+    energy = draw(hnp.arrays(
+        float, (n_apps, n_servers),
+        elements=st.floats(0.0, 9.0, allow_nan=False, width=32)))
+    dense = DenseCosts(keys=[f"r{k}" for k in range(n_keys)], demand=demand,
+                       capacity=capacity.astype(float), mask=mask, cost=cost,
+                       raw_assign=cost, activation=activation,
+                       initially_on=initially_on)
+    state = GreedyState(dense)
+    warm = draw(st.lists(
+        st.tuples(st.integers(0, n_apps - 1), st.integers(0, n_servers - 1)),
+        max_size=n_apps))
+    for i, j in warm:
+        if mask[i, j] and state.assignment[i] < 0 and \
+                bool(np.all(demand[i, j] <= state.capacity_left[j] + 1e-9)):
+            state.place(i, j)
+    return state, energy
+
+
+COMMON = dict(deadline=None,
+              suppress_health_check=[HealthCheck.too_slow,
+                                     HealthCheck.filter_too_much])
+
+
+@settings(max_examples=120, **COMMON)
+@given(dense_instances())
+def test_sharded_fill_is_bit_identical_to_serial(instance):
+    """The contract: shard counts 1/2/4 reproduce the serial kernel exactly."""
+    state, energy = instance
+    serial = state.clone()
+    greedy_fill(serial, energy)
+    for n_shards in SHARD_COUNTS:
+        sharded = state.clone()
+        greedy_fill_sharded(sharded, energy, n_shards, min_shard_apps=1)
+        assert np.array_equal(serial.assignment, sharded.assignment)
+        # Bit-equal, not allclose: the reconciliation pass must replay the
+        # serial kernel's float subtraction sequence exactly.
+        assert np.array_equal(serial.capacity_left, sharded.capacity_left)
+        assert np.array_equal(serial.served, sharded.served)
+
+
+@settings(max_examples=120, **COMMON)
+@given(dense_instances())
+def test_fill_never_exceeds_capacity(instance):
+    state, energy = instance
+    greedy_fill(state, energy)
+    dense = state.dense
+    used = np.zeros_like(dense.capacity)
+    for i, j in enumerate(state.assignment):
+        if j >= 0:
+            used[j] += dense.demand[i, j]
+    # The kernel tolerates 1e-9 per placement; allow the accumulated slack.
+    tolerance = 1e-9 * max(1, len(state.assignment))
+    assert np.all(used <= dense.capacity + tolerance)
+
+
+@settings(max_examples=120, **COMMON)
+@given(dense_instances())
+def test_fill_conserves_demand_and_state(instance):
+    """Every application is assigned at most once, within its mask, and the
+    shared state is exactly the ledger of the placements made."""
+    state, energy = instance
+    greedy_fill(state, energy)
+    dense = state.dense
+    n_servers = dense.capacity.shape[0]
+    expected_capacity = dense.capacity.copy()
+    expected_served = np.zeros(n_servers, dtype=int)
+    for i, j in enumerate(state.assignment):
+        assert -1 <= j < n_servers
+        if j >= 0:
+            assert dense.mask[i, j], "placement outside the candidate mask"
+            expected_capacity[j] -= dense.demand[i, j]
+            expected_served[j] += 1
+    np.testing.assert_allclose(state.capacity_left, expected_capacity,
+                               rtol=1e-9, atol=1e-9)
+    assert np.array_equal(state.served, expected_served)
+
+
+@settings(max_examples=120, **COMMON)
+@given(dense_instances(), st.sampled_from(SHARD_COUNTS[1:]))
+def test_shard_plan_partitions_pending_apps(instance, n_shards):
+    """A plan covers each pending application exactly once, free + coupled."""
+    state, energy = instance
+    plan = plan_shards(state.clone(), energy, n_shards, min_shard_apps=1)
+    if plan is None:
+        return
+    pending = {i for i in range(len(state.assignment)) if state.assignment[i] < 0}
+    chunks = [c for c in plan.free_chunks] + [b for b in plan.bins]
+    covered = [int(i) for chunk in chunks for i in chunk]
+    assert sorted(covered) == sorted(pending)
+    assert sorted(int(i) for i in plan.order) == sorted(pending)
+    assert plan.n_free + plan.n_coupled == len(pending)
+    assert 0.0 <= plan.parallel_fraction <= 1.0
+
+
+def test_plan_falls_back_to_serial_below_shard_size_threshold():
+    """Sub-shard-size epochs must take the serial path under the *default*
+    threshold: ``plan_shards`` declines, and ``greedy_fill_sharded`` reports
+    the fallback (``None``) while still producing the serial result."""
+    rng = np.random.default_rng(9)
+    n_apps, n_servers = MIN_SHARD_APPS - 1, 4
+    mask = np.ones((n_apps, n_servers), dtype=bool)
+    dense = DenseCosts(
+        keys=["r"], demand=rng.uniform(0, 1, (n_apps, n_servers, 1)),
+        capacity=np.full((n_servers, 1), 100.0), mask=mask,
+        cost=rng.uniform(0, 1, (n_apps, n_servers)),
+        raw_assign=np.zeros((n_apps, n_servers)),
+        activation=np.zeros(n_servers), initially_on=np.ones(n_servers, dtype=bool))
+    energy = rng.uniform(0, 1, (n_apps, n_servers))
+    state = GreedyState(dense)
+    assert plan_shards(state.clone(), energy, 4) is None
+
+    serial = state.clone()
+    greedy_fill(serial, energy)
+    sharded = state.clone()
+    assert greedy_fill_sharded(sharded, energy, 4) is None  # serial fallback ran
+    assert np.array_equal(serial.assignment, sharded.assignment)
+
+    # One more application crosses the threshold and a real plan appears.
+    bigger = DenseCosts(
+        keys=["r"], demand=rng.uniform(0, 1, (MIN_SHARD_APPS, n_servers, 1)),
+        capacity=np.full((n_servers, 1), 100.0),
+        mask=np.ones((MIN_SHARD_APPS, n_servers), dtype=bool),
+        cost=rng.uniform(0, 1, (MIN_SHARD_APPS, n_servers)),
+        raw_assign=np.zeros((MIN_SHARD_APPS, n_servers)),
+        activation=np.zeros(n_servers), initially_on=np.ones(n_servers, dtype=bool))
+    assert plan_shards(GreedyState(bigger),
+                       rng.uniform(0, 1, (MIN_SHARD_APPS, n_servers)), 4) is not None
+
+
+# -- randomized placement problems --------------------------------------------
+
+_CATALOG = default_city_catalog()
+_CITIES = CENTRAL_EU.cities(_CATALOG)
+_NAMES = [c.name for c in _CITIES]
+_LATENCY = build_latency_matrix(_NAMES, _CATALOG.coordinates_array(_NAMES),
+                                countries=[c.country for c in _CITIES])
+
+app_strategy = st.builds(
+    dict,
+    workload=st.sampled_from(["ResNet50", "EfficientNetB0", "YOLOv4", "Sci"]),
+    source=st.sampled_from(_NAMES),
+    slo_ms=st.sampled_from([6.0, 12.0, 20.0, 40.0]),
+    rate_rps=st.floats(min_value=1.0, max_value=40.0),
+)
+
+intensity_strategy = st.lists(st.floats(min_value=10.0, max_value=900.0),
+                              min_size=5, max_size=5)
+
+
+def _build_problem(app_specs, intensities):
+    fleet = build_regional_fleet(CENTRAL_EU)
+    traces = TraceSet.from_mapping({
+        zone: np.full(24, value)
+        for zone, value in zip(CENTRAL_EU.zone_ids(_CATALOG), intensities)
+    })
+    carbon = CarbonIntensityService(traces=traces)
+    apps = [Application(app_id=f"app-{k}", workload=spec["workload"],
+                        source_site=spec["source"], latency_slo_ms=spec["slo_ms"],
+                        request_rate_rps=spec["rate_rps"], duration_hours=1.0)
+            for k, spec in enumerate(app_specs)]
+    return PlacementProblem.build(apps, fleet.servers(), _LATENCY, carbon, hour=0,
+                                  horizon_hours=1.0)
+
+
+@settings(max_examples=25, **COMMON)
+@given(st.lists(app_strategy, min_size=1, max_size=10), intensity_strategy)
+def test_sharded_backend_solutions_identical_on_problems(app_specs, intensities):
+    """End-to-end: the heuristic backend is shard-count invariant on real
+    placement problems (placements, unplaced, power state — the lot)."""
+    problem = _build_problem(app_specs, intensities)
+    solutions = []
+    for n_shards in SHARD_COUNTS:
+        config = SolverConfig(epoch_shards=n_shards, min_shard_apps=1)
+        request = SolveRequest(problem=problem, config=config)
+        solution = get_backend("heuristic").solve(request)
+        assert validate_solution(solution) == []
+        solutions.append(solution)
+    reference = solutions[0]
+    for other in solutions[1:]:
+        assert other.placements == reference.placements
+        assert other.unplaced == reference.unplaced
+        assert np.array_equal(other.power_on, reference.power_on)
+
+
+@settings(max_examples=20, **COMMON)
+@given(st.lists(app_strategy, min_size=1, max_size=10), intensity_strategy)
+def test_local_search_objective_monotone(app_specs, intensities):
+    """Objective monotonicity: local search only ever improves on the greedy
+    construction it starts from (same placements count, lower-or-equal raw
+    objective) — sharded or not."""
+    from repro.solver.backend import raw_objective_value
+
+    problem = _build_problem(app_specs, intensities)
+    for n_shards in (1, 2):
+        config = SolverConfig(epoch_shards=n_shards, min_shard_apps=1)
+        greedy = get_backend("greedy").solve(
+            SolveRequest(problem=problem, config=config))
+        improved = get_backend("heuristic").solve(
+            SolveRequest(problem=problem, config=config))
+        assert improved.n_placed >= greedy.n_placed
+        if improved.n_placed == greedy.n_placed:
+            request = SolveRequest(problem=problem, config=config)
+            assert raw_objective_value(request, improved) <= \
+                raw_objective_value(request, greedy) + 1e-9
