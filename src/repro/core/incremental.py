@@ -35,7 +35,7 @@ from repro.network.latency import LatencyMatrix
 from repro.workloads.application import Application
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->solver cycle
-    from repro.solver.compile import EpochCompilation
+    from repro.solver.compile import EpochCompilation, ScenarioCompilation
 
 
 @dataclass
@@ -88,6 +88,23 @@ class IncrementalPlacer:
     #: when the application/server geometry is unchanged between epochs).
     last_compilation: "EpochCompilation | None" = field(default=None, repr=False)
 
+    def scenario_compilation(self) -> "ScenarioCompilation | None":
+        """The scenario-lifetime compilation tier over this placer's substrate.
+
+        The fleet/latency/carbon substrate is fixed for the placer's lifetime,
+        so the static tensors (latency geometry, device-class energy/demand
+        blocks, SLO-feasibility rows) are compiled once and every batch and
+        epoch re-solve assembles only its delta — including the warm-start
+        allocation state, which the delta reads live from the fleet because
+        committed batches leave the fleet anything but pristine. ``None``
+        (cold rebuilds) when the tier is force-disabled.
+        """
+        from repro.solver.compile import compile_scenario, scenario_tier_enabled
+
+        if not scenario_tier_enabled():
+            return None
+        return compile_scenario(self.fleet.servers(), self.latency, self.carbon)
+
     def build_problem(self, applications: list[Application], hour: int) -> PlacementProblem:
         """Assemble the placement problem for one batch from current fleet state."""
         return PlacementProblem.build(
@@ -98,6 +115,7 @@ class IncrementalPlacer:
             hour=hour,
             horizon_hours=self.horizon_hours,
             use_forecast=self.use_forecast,
+            substrate=self.scenario_compilation(),
         )
 
     def place_batch(self, applications: list[Application], hour: int,

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.filters import FeasibilityReport, filter_feasible_servers
+from repro.core.filters import FeasibilityReport
 from repro.core.objective import (
     ObjectiveKind,
     apply_tie_break,
@@ -65,7 +65,11 @@ def build_placement_model(
     alpha:
         Energy weight for the multi-objective variant (Equation 8).
     report:
-        Pre-computed feasibility report (computed here when omitted).
+        Pre-computed feasibility report. When omitted it is read from the
+        problem's memoised epoch compilation
+        (:func:`repro.solver.compile.compile_placement`) — scenario-tier
+        builds arrive with the report pre-assembled from cached class rows,
+        and every consumer of the same problem shares one report either way.
     manage_power:
         When False, every server is treated as already on and no activation
         term is added — the ablation benchmark uses this to quantify the value
@@ -78,7 +82,12 @@ def build_placement_model(
         Applications listed in ``report.unplaceable`` have no variables and no
         assignment constraint; callers must handle them.
     """
-    report = report or filter_feasible_servers(problem)
+    if report is None:
+        # Share the problem's memoised compilation (and therefore its report)
+        # with the policies and backends instead of re-running the filter.
+        from repro.solver.compile import compile_placement
+
+        report = compile_placement(problem).report
     model = MILPModel(name="carbon-edge-placement")
     assign_coeff, activation_coeff = objective_coefficients(problem, objective, alpha)
 

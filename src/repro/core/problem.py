@@ -307,6 +307,7 @@ class PlacementProblem:
         hour: int = 0,
         horizon_hours: float = 1.0,
         use_forecast: bool = True,
+        substrate: "object | None" = None,
     ) -> "PlacementProblem":
         """Assemble a problem from library objects.
 
@@ -330,6 +331,14 @@ class PlacementProblem:
         use_forecast:
             Use the forecast mean (paper behaviour) instead of the
             instantaneous intensity; the ablation benchmark flips this.
+        substrate:
+            Optional scenario-lifetime compilation
+            (:class:`repro.solver.compile.ScenarioCompilation`) of exactly
+            these servers / latency matrix / carbon service. When it matches,
+            the problem is assembled from the substrate's static class rows —
+            bit-identical tensors, a fraction of the cost — and comes back
+            with its epoch compilation pre-seeded. A non-matching substrate
+            falls back to the cold build below.
         """
         applications = list(applications)
         servers = list(servers)
@@ -338,6 +347,10 @@ class PlacementProblem:
             raise ValueError("cannot build a placement problem with no applications")
         if s == 0:
             raise ValueError("cannot build a placement problem with no servers")
+        if substrate is not None and substrate.matches(servers, latency, carbon):
+            return substrate.build_problem(applications, hour=hour,
+                                           horizon_hours=horizon_hours,
+                                           use_forecast=use_forecast)
 
         # Latency: one site-index gather instead of A x S matrix lookups.
         app_rows = [latency.index_of(app.source_site) for app in applications]

@@ -52,6 +52,15 @@ class PlacementSolution:
     #: Canonical name of the solver backend that produced the solution
     #: (empty when the solution did not come through the backend registry).
     backend_name: str = ""
+    #: Provably order-independent share of the greedy construction when
+    #: intra-epoch sharding was requested
+    #: (:attr:`repro.solver.compile.ShardPlan.parallel_fraction` of the drawn
+    #: plan — executed by shard dispatch in component mode, or by the serial
+    #: kernel's equivalent speculative schedule; ``0.0`` when the planner
+    #: refused outright). ``None`` when sharding was not requested or the
+    #: backend does not shard — kept on the solution so saturated-epoch
+    #: degradation is observable in simulation artifacts instead of silent.
+    shard_parallel_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if len(self.power_on) == 0:

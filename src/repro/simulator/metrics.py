@@ -31,6 +31,12 @@ class EpochRecord:
     #: ``n_unplaced``). The count is a property of the epoch's problem, so it
     #: is identical across the policies of one epoch.
     n_nearest_unreachable: int = 0
+    #: Provably order-independent share of this epoch's greedy construction
+    #: (``ShardPlan.parallel_fraction``) when intra-epoch sharding was
+    #: requested; ``0.0`` marks a saturated epoch whose planner degraded to
+    #: the serial kernel, ``None`` an unsharded run. Execution diagnostics,
+    #: not science — the placements are bit-identical either way.
+    shard_parallel_fraction: float | None = None
 
 
 @dataclass
@@ -105,6 +111,19 @@ class SimulationResult:
     def total_nearest_unreachable(self, policy: str) -> int:
         """Applications without any feasible server, summed over epochs."""
         return int(sum(r.n_nearest_unreachable for r in self._of(policy)))
+
+    def mean_shard_parallel_fraction(self, policy: str) -> float | None:
+        """Mean per-epoch shard parallel fraction of one policy.
+
+        ``None`` when the run never requested intra-epoch sharding; values
+        near ``0.0`` flag saturated epochs whose construction degraded to the
+        serial kernel (see ``EpochRecord.shard_parallel_fraction``).
+        """
+        values = [r.shard_parallel_fraction for r in self._of(policy)
+                  if r.shard_parallel_fraction is not None]
+        if not values:
+            return None
+        return float(np.mean(values))
 
     def _of(self, policy: str) -> list[EpochRecord]:
         if policy not in self.records:

@@ -11,14 +11,20 @@ properties the rest of the tree relies on:
   therefore produces byte-identical artifacts to ``--workers 1`` for every
   deterministic spec.
 * **Per-process substrate reuse.** Worker processes keep the experiment-level
-  caches (:mod:`repro.experiments.common`) and the CDN scenario-substrate
-  cache (:func:`repro.simulator.cdn.scenario_substrate`) warm across the units
-  they execute, so scenario variants that share a footprint — a latency-limit
-  sweep over one continent, the demand/capacity scenarios of Figure 14 — pay
-  for the fleet, the latency matrix, and the year of carbon traces once. When
-  a worker crosses from one experiment to another it calls
-  :func:`repro.experiments.common.clear_caches`, bounding resident memory over
-  a ``run --all`` session.
+  caches (:mod:`repro.experiments.common`), the CDN scenario-substrate cache
+  (:func:`repro.simulator.cdn.scenario_substrate`), and the scenario-lifetime
+  compilation tier keyed by it
+  (:func:`repro.solver.compile.compile_scenario`) warm across the units they
+  execute: each worker builds the scenario tier once per work unit's
+  substrate and reuses it across every epoch of the unit — and across later
+  units sharing the substrate, so scenario variants that share a footprint —
+  a latency-limit sweep over one continent, the demand/capacity scenarios of
+  Figure 14 — pay for the fleet, the latency matrix, the year of carbon
+  traces, *and* the static placement tensors once. When a worker crosses
+  from one experiment to another it calls
+  :func:`repro.experiments.common.clear_caches` (which drops the substrate
+  and compilation caches together), bounding resident memory over a
+  ``run --all`` session.
 * **Unified results.** Every spec yields one versioned
   :class:`~repro.experiments.results.ExperimentResult` whose artifact is the
   schema-validated merge of its units' JSON projections.

@@ -17,11 +17,13 @@ layer in two tiers:
 
 **The placement-backend layer** (the production front door):
 
-* :mod:`repro.solver.compile` — the scenario compilation layer:
-  :class:`EpochCompilation` precomputes the feasibility report, per-objective
-  coefficient matrices, dense cost/demand tensors, and nearest-feasible
-  latencies once per problem, shared by every policy and backend; it also
-  hosts the single dense greedy kernel.
+* :mod:`repro.solver.compile` — the two-tier scenario compilation layer:
+  :class:`ScenarioCompilation` hoists everything epoch-invariant (latency
+  geometry, device-class blocks, feasibility rows, capacity tensors) to
+  scenario scope, and :class:`EpochCompilation` precomputes the feasibility
+  report, per-objective coefficient matrices, dense cost/demand tensors, and
+  nearest-feasible latencies once per problem, shared by every policy and
+  backend; it also hosts the single dense greedy kernel.
 * :mod:`repro.solver.backend` — the :class:`PlacementSolver` protocol and
   :class:`SolveRequest` (a thin view over the compilation).
 * :mod:`repro.solver.registry` — backend registration and
@@ -68,6 +70,11 @@ __all__ = [
     "clear_compilation",
     "greedy_fill_sharded",
     "plan_shards",
+    "ScenarioCompilation",
+    "EpochDelta",
+    "compile_scenario",
+    "clear_scenario_compilations",
+    "scenario_tier_enabled",
 ]
 
 _LAZY_REGISTRY_EXPORTS = {
@@ -77,6 +84,8 @@ _LAZY_BACKEND_EXPORTS = {"PlacementSolver", "SolveRequest"}
 _LAZY_COMPILE_EXPORTS = {
     "EpochCompilation", "DenseCosts", "ShardPlan", "compile_placement",
     "clear_compilation", "greedy_fill_sharded", "plan_shards",
+    "ScenarioCompilation", "EpochDelta", "compile_scenario",
+    "clear_scenario_compilations", "scenario_tier_enabled",
 }
 
 

@@ -71,14 +71,22 @@ class GreedyLocalSearchBackend:
         # kernel by the planner's independence certificates, so backends stay
         # deterministic for every shard count.
         shards = request.config.epoch_shards
+        parallel_fraction: float | None = None
         if shards > 1:
-            greedy_fill_sharded(state, request.problem.energy_j, shards,
-                                request.config.min_shard_apps)
+            plan = greedy_fill_sharded(state, request.problem.energy_j, shards,
+                                       request.config.min_shard_apps)
+            # Surface how much of the construction actually parallelised —
+            # 0.0 marks a saturated epoch that degraded to the serial kernel
+            # (planner refused, or one coupled component dominated).
+            parallel_fraction = plan.parallel_fraction \
+                if plan is not None and plan.is_parallel else 0.0
         else:
             greedy_fill(state, request.problem.energy_j)
         if self.local_search:
             self._improve(request, state)
-        return solution_from_assignment(request, state.assignment)
+        solution = solution_from_assignment(request, state.assignment)
+        solution.shard_parallel_fraction = parallel_fraction
+        return solution
 
     # -- construction ---------------------------------------------------------
 

@@ -153,3 +153,61 @@ def test_reoptimize_tears_down_evicted_apps(placer, central_eu_fleet):
     for app_id in resolved.placements:
         assert orchestrator.binding_for(app_id).server_id == \
             orchestrator.deployments[f"dep-{app_id}"].server_id
+
+
+# -- scenario-lifetime compilation: delta path vs cold rebuild -------------------
+
+
+def _run_batch_and_resolve(fleet, latency, carbon, disable_tier: bool):
+    """One arrival batch + one warm-started epoch re-solve, delta or cold."""
+    import os
+
+    from repro.solver.compile import SCENARIO_TIER_ENV, clear_scenario_compilations
+
+    clear_scenario_compilations()
+    if disable_tier:
+        os.environ[SCENARIO_TIER_ENV] = "1"
+    try:
+        placer = IncrementalPlacer(fleet=fleet, latency=latency, carbon=carbon,
+                                   policy=CarbonEdgePolicy(), horizon_hours=24.0)
+        apps = make_apps(fleet.sites(), n_per_site=2)
+        batch = placer.place_batch(apps, hour=0)
+        resolved = placer.resolve_epoch(hour=12)
+        return batch, resolved, _allocation_map(fleet)
+    finally:
+        os.environ.pop(SCENARIO_TIER_ENV, None)
+
+
+def test_resolve_epoch_delta_path_bit_identical_to_cold_rebuild(
+        central_eu_latency, central_eu_carbon):
+    """The scenario tier's warm-start (non-pristine) delta path must produce
+    bit-identical batch and re-solve solutions — and identical committed
+    fleet state — to building every epoch problem from scratch."""
+    import numpy as np
+
+    from repro.cluster.fleet import build_regional_fleet
+    from repro.datasets.regions import CENTRAL_EU
+
+    arms = {}
+    for disable in (True, False):
+        fleet = build_regional_fleet(CENTRAL_EU)  # fresh fleet per arm
+        arms[disable] = _run_batch_and_resolve(
+            fleet, central_eu_latency, central_eu_carbon, disable_tier=disable)
+
+    (cold_batch, cold_resolved, cold_alloc) = arms[True]
+    (fast_batch, fast_resolved, fast_alloc) = arms[False]
+    for cold, fast in ((cold_batch, fast_batch), (cold_resolved, fast_resolved)):
+        assert cold.placements == fast.placements
+        assert cold.unplaced == fast.unplaced
+        assert np.array_equal(cold.power_on, fast.power_on)
+        assert cold.total_carbon_g() == fast.total_carbon_g()
+        assert cold.total_energy_j() == fast.total_energy_j()
+        # The problems themselves carry identical tensors (the re-solve's
+        # problem reads live, non-pristine fleet state through the delta).
+        for name in ("latency_ms", "energy_j", "supported", "intensity",
+                     "current_power"):
+            assert np.array_equal(getattr(cold.problem, name),
+                                  getattr(fast.problem, name)), name
+        assert np.array_equal(cold.problem.capacity_dense(),
+                              fast.problem.capacity_dense())
+    assert cold_alloc == fast_alloc

@@ -275,3 +275,29 @@ def test_local_search_objective_monotone(app_specs, intensities):
             request = SolveRequest(problem=problem, config=config)
             assert raw_objective_value(request, improved) <= \
                 raw_objective_value(request, greedy) + 1e-9
+
+
+@settings(max_examples=150, **COMMON)
+@given(dense_instances())
+def test_cold_speculative_schedule_is_bit_identical_to_naive_loop(instance):
+    """The serial kernel's speculate-and-revalidate fast path must reproduce
+    the naive per-row schedule exactly on every instance it dispatches for.
+
+    ``greedy_fill`` auto-routes cold activation channels onto the batched
+    schedule, so the shard bit-identity tests above would compare the cold
+    path against itself; this test pins the naive loop as the reference arm
+    explicitly (adversarial inf-costs-inside-the-mask, warm starts, and
+    zero-width resource axes included).
+    """
+    from repro.solver.compile import _greedy_fill_live, _pending_order
+
+    state, energy = instance
+    naive = state.clone()
+    _greedy_fill_live(naive, _pending_order(naive, energy))
+    auto = state.clone()
+    greedy_fill(auto, energy)
+    assert np.array_equal(naive.assignment, auto.assignment)
+    # Bit-equal, not allclose: the replay must reproduce the naive loop's
+    # float subtraction sequence exactly.
+    assert np.array_equal(naive.capacity_left, auto.capacity_left)
+    assert np.array_equal(naive.served, auto.served)
