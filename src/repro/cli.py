@@ -8,6 +8,15 @@ registry through the sharded scenario runner::
     carbon-edge experiments run fig11 fig17 --workers 8
     carbon-edge experiments run --all --smoke --workers 2 --output-dir artifacts
 
+Its ``serve`` subcommand runs the online placement service
+(:mod:`repro.serving`) — a bounded soak with a seeded load stream, or the
+replay-parity check that byte-diffs the service's decisions against the
+batch simulator::
+
+    carbon-edge serve --smoke --metrics-out artifacts/serving_metrics.json
+    carbon-edge serve --replay-parity --epoch-shards 2
+    carbon-edge serve --shape diurnal --rps 0.05 --duration-s 43200
+
 ``carbon-edge quickstart`` (and the original ``carbon-edge-quickstart``
 alias) builds the Central-EU edge deployment, generates a batch of inference
 applications, and compares where CarbonEdge places them against the
@@ -159,6 +168,53 @@ def build_carbon_edge_parser() -> argparse.ArgumentParser:
                          help="directory for the JSON artifacts (default: artifacts/)")
     run_cmd.add_argument("--no-write", action="store_true",
                          help="skip writing artifacts (print the summary only)")
+
+    serve = commands.add_parser(
+        "serve", help="run the online placement service (bounded soak or "
+                      "replay-parity check)")
+    serve.add_argument("--continent", default="EU", choices=("US", "EU"),
+                       help="CDN footprint side (default: EU)")
+    serve.add_argument("--max-sites", type=int, default=10, metavar="N",
+                       help="cap on the number of CDN cities (default: 10)")
+    serve.add_argument("--n-epochs", type=int, default=1, metavar="N",
+                       help="scenario epochs; in parity mode these become the "
+                            "replayed events (default: 1)")
+    serve.add_argument("--epoch-shards", type=int, default=1, metavar="N",
+                       help="intra-epoch shard count; decisions are "
+                            "bit-identical for any value (default: 1)")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="scenario and load-stream seed (default: the "
+                            "experiment seed)")
+    serve.add_argument("--rps", type=float, default=0.02, metavar="R",
+                       help="mean deployment-request arrival rate, req/s "
+                            "(default: 0.02)")
+    serve.add_argument("--shape", default="poisson",
+                       choices=("poisson", "diurnal", "burst"),
+                       help="traffic shape of the load stream (default: poisson)")
+    serve.add_argument("--mean-lifetime-s", type=float, default=5400.0,
+                       metavar="S", help="mean application lifetime, seconds "
+                                         "(default: 5400)")
+    serve.add_argument("--duration-s", type=float, default=6 * 3600.0,
+                       metavar="S", help="simulated soak duration, seconds "
+                                         "(default: 21600 = 6 h)")
+    serve.add_argument("--max-events", type=int, default=None, metavar="N",
+                       help="hard cap on processed events (CI bound)")
+    serve.add_argument("--batch-interval-s", type=float, default=300.0,
+                       metavar="S", help="micro-batching window (default: 300)")
+    serve.add_argument("--resolve-interval-s", type=float, default=3600.0,
+                       metavar="S", help="rolling-horizon re-solve period "
+                                         "(default: 3600)")
+    serve.add_argument("--apps-per-site-per-epoch", type=float, default=6.0,
+                       metavar="A", help="parity-scenario arrival density "
+                                         "(default: 6.0)")
+    serve.add_argument("--smoke", action="store_true",
+                       help="reduced CI scale (fewer sites, shorter soak)")
+    serve.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the versioned serving-metrics JSON artifact")
+    serve.add_argument("--replay-parity", action="store_true",
+                       help="byte-diff the service's replayed decisions "
+                            "against the batch simulator and exit non-zero "
+                            "on mismatch")
     return parser
 
 
@@ -217,12 +273,78 @@ def _experiments_run(args: argparse.Namespace, parser: argparse.ArgumentParser) 
     return 0
 
 
+def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.experiments.common import EXPERIMENT_SEED
+    from repro.serving.loadgen import LoadGenerator
+    from repro.serving.parity import check_replay_parity
+    from repro.serving.service import PlacementService, ServingConfig
+    from repro.simulator.scenario import CDNScenario
+
+    if args.epoch_shards < 1:
+        parser.error(f"--epoch-shards must be >= 1, got {args.epoch_shards}")
+    if args.duration_s <= 0:
+        parser.error(f"--duration-s must be positive, got {args.duration_s}")
+    seed = args.seed if args.seed is not None else EXPERIMENT_SEED
+    max_sites, duration_s, rate = args.max_sites, args.duration_s, args.rps
+    if args.smoke:
+        max_sites = min(max_sites, 6)
+        duration_s = min(duration_s, 2 * 3600.0)
+        rate = min(rate, 0.01)
+    scenario = CDNScenario(
+        continent=args.continent,
+        n_epochs=args.n_epochs,
+        apps_per_site_per_epoch=args.apps_per_site_per_epoch,
+        max_sites=max_sites,
+        epoch_shards=args.epoch_shards,
+        seed=seed,
+    )
+
+    if args.replay_parity:
+        report = check_replay_parity(scenario)
+        print(f"replay parity over {scenario.n_epochs} epoch(s), "
+              f"{args.continent}, epoch_shards={args.epoch_shards}:")
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    config = ServingConfig(batch_interval_s=args.batch_interval_s,
+                           resolve_interval_s=args.resolve_interval_s,
+                           horizon_hours=float(scenario.hours_per_epoch))
+    service = PlacementService.from_scenario(scenario, config=config)
+    load = LoadGenerator(sites=service.simulator.fleet.sites(),
+                         rate_per_s=rate, shape=args.shape,
+                         mean_lifetime_s=args.mean_lifetime_s, seed=seed)
+    report = service.run_live(load, duration_s=duration_s,
+                              max_events=args.max_events)
+    metrics = report.metrics
+    print(f"served {metrics.n_events} events "
+          f"({metrics.n_arrivals} arrivals, {metrics.n_departures} departures) "
+          f"over {duration_s:.0f} simulated seconds")
+    print(f"solves: {metrics.n_batch_solves} batch, "
+          f"{metrics.n_warm_resolves} warm re-solves")
+    print(f"decision latency: p50 {metrics.latency_percentile_ms(50.0):.2f} ms, "
+          f"p99 {metrics.latency_percentile_ms(99.0):.2f} ms")
+    print(f"throughput: {metrics.placements_per_s():.1f} placements/s "
+          f"({metrics.total_placed()} placed in {metrics.wall_elapsed_s:.2f} s "
+          f"wall)")
+    print(f"carbon: {metrics.total_carbon_g():.0f} g total, "
+          f"{metrics.carbon_per_request_g() * 1000.0:.3f} mg/request")
+    print(f"feed: samples {metrics.feed_samples or {'live': 0}}, "
+          f"events {metrics.feed_events or 'none'}, "
+          f"stale={metrics.feed_stale}")
+    if args.metrics_out:
+        path = metrics.write(args.metrics_out)
+        print(f"metrics artifact -> {path}")
+    return 0
+
+
 def carbon_edge_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``carbon-edge`` command (and ``python -m repro``)."""
     parser = build_carbon_edge_parser()
     args = parser.parse_args(argv)
     if args.command == "quickstart":
         return _run_quickstart(args, parser)
+    if args.command == "serve":
+        return _run_serve(args, parser)
     if args.action == "list":
         return _experiments_list()
     return _experiments_run(args, parser)

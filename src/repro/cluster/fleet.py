@@ -87,7 +87,7 @@ class EdgeFleet:
     def reset_allocations(self, power_state: PowerState = PowerState.OFF) -> None:
         """Clear all allocations and set every server to the given power state."""
         for server in self.servers():
-            server.allocations.clear()
+            server.reset_allocations()
             server.power_state = power_state
 
 

@@ -51,6 +51,18 @@ class EdgeServer:
     accelerator: DeviceSpec | None = NVIDIA_A2
     power_state: PowerState = PowerState.OFF
     allocations: dict[str, ResourceVector] = field(default_factory=dict)
+    #: Running sum of ``allocations`` — maintained incrementally so the
+    #: commit path (allocate → can_host → available_capacity) costs O(dims)
+    #: per allocation instead of re-summing every allocation each time, which
+    #: made committing a batch quadratic and dominated the serving loop's
+    #: warm re-solve latency. ``None`` means "recompute on next read" (the
+    #: exact sum), which also snaps away any incremental float residue
+    #: whenever the server empties.
+    _used_cache: ResourceVector | None = field(
+        default=None, repr=False, compare=False)
+    #: Memoised CPU+accelerator capacity (the hardware is immutable).
+    _total_cache: ResourceVector | None = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.cpu.kind != "cpu":
@@ -60,34 +72,50 @@ class EdgeServer:
 
     # -- capacity ------------------------------------------------------------
 
+    def _total_ref(self) -> ResourceVector:
+        if self._total_cache is None:
+            capacity = self.cpu.capacity.copy()
+            if self.accelerator is not None:
+                capacity = capacity + self.accelerator.capacity
+            self._total_cache = capacity
+        return self._total_cache
+
+    def _used_ref(self) -> ResourceVector:
+        if self._used_cache is None:
+            used = ResourceVector.zeros(tuple(self._total_ref().keys()))
+            for demand in self.allocations.values():
+                used = used + demand
+            self._used_cache = used
+        return self._used_cache
+
     @property
     def total_capacity(self) -> ResourceVector:
         """Total capacity across the host CPU and the accelerator."""
-        capacity = self.cpu.capacity.copy()
-        if self.accelerator is not None:
-            capacity = capacity + self.accelerator.capacity
-        return capacity
+        return self._total_ref().copy()
 
     @property
     def used_capacity(self) -> ResourceVector:
         """Sum of the resources currently allocated to applications."""
-        used = ResourceVector.zeros(tuple(self.total_capacity.keys()))
-        for demand in self.allocations.values():
-            used = used + demand
-        return used
+        return self._used_ref().copy()
 
     @property
     def available_capacity(self) -> ResourceVector:
         """Capacity still available for new applications (C^k_j in Equation 1)."""
-        return self.total_capacity - self.used_capacity
+        return self._total_ref() - self._used_ref()
 
     def utilization(self) -> float:
         """Tightest fractional utilisation across resource dimensions."""
-        return self.used_capacity.max_utilization_of(self.total_capacity)
+        return self._used_ref().max_utilization_of(self._total_ref())
 
     def can_host(self, demand: ResourceVector) -> bool:
         """Whether the demand fits in the currently available capacity."""
-        return demand.fits_within(self.available_capacity)
+        # Hot path of every commit: compare amounts directly (same semantics
+        # as ``demand.fits_within(self.available_capacity)``) instead of
+        # constructing intermediate vectors per check.
+        total = self._total_ref().amounts
+        used = self._used_ref().amounts
+        return all(v <= total.get(k, 0.0) - used.get(k, 0.0) + 1e-9
+                   for k, v in demand.amounts.items())
 
     # -- power ----------------------------------------------------------------
 
@@ -142,13 +170,30 @@ class EdgeServer:
             raise RuntimeError(
                 f"cannot allocate {app_id!r} on powered-off server {self.server_id}")
         self.allocations[app_id] = demand.copy()
+        # In-place cache update is safe: the cache only leaves this class as
+        # a copy (``used_capacity``) or a fresh difference (``available_capacity``).
+        used = self._used_ref().amounts
+        for key, value in demand.amounts.items():
+            used[key] = used.get(key, 0.0) + value
 
     def release(self, app_id: str) -> ResourceVector:
         """Release an application's allocation and return the freed demand."""
         try:
-            return self.allocations.pop(app_id)
+            freed = self.allocations.pop(app_id)
         except KeyError:
             raise KeyError(f"application {app_id!r} is not allocated on {self.server_id}") from None
+        if not self.allocations:
+            self._used_cache = None  # empty server: next read is the exact zero
+        elif self._used_cache is not None:
+            used = self._used_cache.amounts
+            for key, value in freed.amounts.items():
+                used[key] = max(used.get(key, 0.0) - value, 0.0)
+        return freed
+
+    def reset_allocations(self) -> None:
+        """Drop every allocation (the fleet-wide pristine-baseline reset)."""
+        self.allocations.clear()
+        self._used_cache = None
 
     @property
     def device_name(self) -> str:

@@ -28,6 +28,7 @@ from repro.experiments import (  # noqa: F401
     fig15_heterogeneity,
     fig16_tradeoff,
     fig17_scalability,
+    serving_soak,
 )
 
 __all__ = [
@@ -51,4 +52,5 @@ __all__ = [
     "fig15_heterogeneity",
     "fig16_tradeoff",
     "fig17_scalability",
+    "serving_soak",
 ]

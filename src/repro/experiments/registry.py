@@ -27,8 +27,10 @@ __all__ = [
     "all_specs",
 ]
 
-#: Valid values of :attr:`ExperimentSpec.kind`.
-KINDS: tuple[str, ...] = ("figure", "table")
+#: Valid values of :attr:`ExperimentSpec.kind`. ``"service"`` marks online
+#: serving-mode artifacts (soak runs) that are not figures or tables of the
+#: paper but ride the same registry/runner/CLI machinery.
+KINDS: tuple[str, ...] = ("figure", "table", "service")
 
 
 @dataclass(frozen=True)
@@ -73,7 +75,7 @@ class ExperimentSpec:
     title:
         One-line human description (shown by ``carbon-edge experiments list``).
     kind:
-        ``"figure"`` or ``"table"``.
+        ``"figure"``, ``"table"``, or ``"service"`` (online-serving soak).
     compute:
         Pure entry point ``compute(spec, ctx) -> dict``: runs the experiment
         with ``ctx.params`` and returns the raw result mapping. Must be

@@ -1,0 +1,56 @@
+"""Online serving mode: the live placement service and its harness.
+
+The batch simulator replays epochs; this package serves them — an
+event-driven placement loop (:mod:`repro.serving.service`) fed by a seeded
+load generator (:mod:`repro.serving.loadgen`) and a fault-tolerant carbon
+feed (:mod:`repro.serving.feed`), instrumented by
+:mod:`repro.serving.metrics` and anchored to the batch loop by the
+replay-parity harness (:mod:`repro.serving.parity`).
+"""
+
+from repro.serving.feed import (
+    CarbonFeed,
+    ElectricityMapsFeed,
+    FeedError,
+    FeedEvent,
+    FeedSample,
+    ResilientCarbonFeed,
+    RetryPolicy,
+    TraceFeed,
+)
+from repro.serving.loadgen import SHAPES, LoadGenerator
+from repro.serving.metrics import (
+    SERVING_METRICS_VERSION,
+    DecisionRecord,
+    ServingMetrics,
+)
+from repro.serving.parity import (
+    ParityCheck,
+    ParityReport,
+    canonical_records,
+    check_replay_parity,
+)
+from repro.serving.service import PlacementService, ServingConfig, ServingReport
+
+__all__ = [
+    "SERVING_METRICS_VERSION",
+    "SHAPES",
+    "CarbonFeed",
+    "DecisionRecord",
+    "ElectricityMapsFeed",
+    "FeedError",
+    "FeedEvent",
+    "FeedSample",
+    "LoadGenerator",
+    "ParityCheck",
+    "ParityReport",
+    "PlacementService",
+    "ResilientCarbonFeed",
+    "RetryPolicy",
+    "ServingConfig",
+    "ServingMetrics",
+    "ServingReport",
+    "TraceFeed",
+    "canonical_records",
+    "check_replay_parity",
+]

@@ -1,0 +1,286 @@
+"""Live carbon-intensity feeds with fault-tolerant degradation.
+
+The online placement service (:mod:`repro.serving.service`) consumes carbon
+intensity through a :class:`CarbonFeed` — a narrow "give me the intensity of
+one zone right now" protocol with two production-shaped implementations:
+
+* :class:`TraceFeed` replays the deterministic synthetic traces through the
+  existing :class:`~repro.carbon.service.CarbonIntensityService`. It is the
+  replay-parity adapter: a service run fed by it sees exactly the intensities
+  the batch simulator saw.
+* :class:`ElectricityMapsFeed` is the live adapter: an ElectricityMaps-style
+  HTTP client (``/v3/carbon-intensity/latest`` per zone) with an injectable
+  transport so tests — and the offline CI environment — never touch the
+  network. Any transport failure surfaces as :class:`FeedError`.
+
+:class:`ResilientCarbonFeed` wraps either adapter with the fault-tolerance
+state machine the serving loop relies on::
+
+    live ──(errors, retry w/ exponential backoff)──▶ cached last-good
+         ◀──(first success: "recovered")──          │ (age > staleness limit)
+                                                    ▼
+                                       synthetic forecast fallback
+
+Every retry, fallback, and recovery is recorded as a :class:`FeedEvent` so
+:class:`~repro.serving.metrics.ServingMetrics` can report feed health, and the
+forecast fallback deliberately returns the *same* synthetic-forecast values
+the placement objective already optimises against — so degraded feeds change
+feed telemetry, never placement decisions (asserted by the fault-injection
+tests).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.carbon.service import CarbonIntensityService
+
+
+class FeedError(RuntimeError):
+    """A carbon-feed adapter failed to produce a sample (timeout, HTTP, parse)."""
+
+
+@runtime_checkable
+class CarbonFeed(Protocol):
+    """Minimal live-feed protocol: current intensity of one zone.
+
+    ``hour`` is the hour-of-year of the request — trace-backed adapters index
+    their replay with it; real HTTP adapters may ignore it (the upstream API
+    serves "latest").
+    """
+
+    def fetch(self, zone_id: str, hour: int) -> float:
+        """Return the zone's current carbon intensity in g CO2eq/kWh."""
+        ...
+
+
+@dataclass
+class TraceFeed:
+    """Deterministic replay adapter over the synthetic trace service."""
+
+    service: CarbonIntensityService
+
+    def fetch(self, zone_id: str, hour: int) -> float:
+        if not self.service.has_zone(zone_id):
+            raise FeedError(f"no trace for zone {zone_id!r}")
+        return float(self.service.current_intensity(zone_id, hour))
+
+
+#: Transport signature of :class:`ElectricityMapsFeed`: ``(url, headers,
+#: timeout_s) -> response body (str)``. Injectable so tests run offline.
+Transport = Callable[[str, dict, float], str]
+
+
+def _urllib_transport(url: str, headers: dict, timeout_s: float) -> str:
+    """Default transport: stdlib urllib (no third-party HTTP dependency)."""
+    request = urllib.request.Request(url, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout_s) as response:
+            return response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise FeedError(f"electricity-maps request failed: {exc}") from exc
+
+
+@dataclass
+class ElectricityMapsFeed:
+    """ElectricityMaps-style live adapter (``/v3/carbon-intensity/latest``).
+
+    Parameters
+    ----------
+    api_key:
+        Auth token sent as the ``auth-token`` header; an empty key fails fast
+        with :class:`FeedError` instead of burning a request.
+    base_url / timeout_s:
+        Endpoint root and per-request timeout.
+    transport:
+        Injectable ``(url, headers, timeout_s) -> body`` callable; defaults to
+        a stdlib urllib client. Tests and offline runs replace it.
+    """
+
+    api_key: str = ""
+    base_url: str = "https://api.electricitymap.org/v3"
+    timeout_s: float = 5.0
+    transport: Transport = field(default=_urllib_transport, repr=False)
+
+    def fetch(self, zone_id: str, hour: int) -> float:
+        if not self.api_key:
+            raise FeedError("electricity-maps API key not configured")
+        query = urllib.parse.urlencode({"zone": zone_id})
+        url = f"{self.base_url}/carbon-intensity/latest?{query}"
+        body = self.transport(url, {"auth-token": self.api_key}, self.timeout_s)
+        try:
+            payload = json.loads(body)
+        except (TypeError, json.JSONDecodeError) as exc:
+            raise FeedError(f"electricity-maps returned invalid JSON: {exc}") from exc
+        value = payload.get("carbonIntensity") if isinstance(payload, dict) else None
+        if not isinstance(value, (int, float)) or not math.isfinite(float(value)):
+            raise FeedError(
+                f"electricity-maps payload for {zone_id!r} has no finite "
+                f"carbonIntensity: {payload!r}")
+        return float(value)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff schedule for live-feed retries.
+
+    ``max_attempts`` counts the initial try; ``delays()`` is the backoff slept
+    between consecutive attempts (``max_attempts - 1`` entries), growing by
+    ``factor`` from ``base_delay_s`` and capped at ``max_delay_s``.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.5
+    factor: float = 2.0
+    max_delay_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+    def delays(self) -> list[float]:
+        """Backoff delays between attempts, in seconds."""
+        return [min(self.base_delay_s * self.factor ** k, self.max_delay_s)
+                for k in range(self.max_attempts - 1)]
+
+
+@dataclass(frozen=True)
+class FeedSample:
+    """One resolved intensity sample with its provenance.
+
+    ``source`` is ``"live"`` (adapter succeeded), ``"cache"`` (adapter down,
+    last-good value still fresh), or ``"forecast"`` (adapter down and cache
+    stale/absent — degraded to the synthetic forecast).
+    """
+
+    zone_id: str
+    hour: int
+    intensity: float
+    source: str
+    stale: bool = False
+
+
+@dataclass(frozen=True)
+class FeedEvent:
+    """One fault-tolerance transition (retry, fallback, recovery) of the feed."""
+
+    kind: str  # "retry" | "fallback-cache" | "fallback-forecast" | "recovered"
+    zone_id: str
+    time_s: float
+    delay_s: float = 0.0
+
+
+@dataclass
+class _ZoneState:
+    last_good: float | None = None
+    last_good_at_s: float = -math.inf
+    failing: bool = False
+
+
+@dataclass
+class ResilientCarbonFeed:
+    """Retry / cache / forecast-degradation wrapper around a live adapter.
+
+    Parameters
+    ----------
+    adapter:
+        The primary :class:`CarbonFeed`.
+    service:
+        The synthetic-trace service used for the graceful-degradation
+        forecast values (and by the placement objective itself, which is what
+        keeps placement decisions identical under fallback).
+    retry:
+        Exponential-backoff schedule applied per :meth:`fetch`.
+    staleness_limit_s:
+        Maximum age of a cached last-good sample before the feed degrades to
+        the forecast fallback.
+    sleep:
+        Injectable backoff sleeper. The default is a no-op: inside the
+        discrete-event serving loop real sleeping would stall simulated time,
+        so the backoff *schedule* is recorded on the feed events instead;
+        a real deployment passes ``time.sleep``.
+    """
+
+    adapter: CarbonFeed
+    service: CarbonIntensityService
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    staleness_limit_s: float = 3600.0
+    sleep: Callable[[float], None] = field(default=lambda _s: None, repr=False)
+    events: list[FeedEvent] = field(default_factory=list)
+    _zones: dict[str, _ZoneState] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.staleness_limit_s < 0:
+            raise ValueError("staleness_limit_s must be non-negative")
+
+    def _state(self, zone_id: str) -> _ZoneState:
+        return self._zones.setdefault(zone_id, _ZoneState())
+
+    def fetch(self, zone_id: str, hour: int, now_s: float = 0.0) -> FeedSample:
+        """Resolve one zone's intensity, degrading gracefully on failure.
+
+        Never raises: after ``retry.max_attempts`` adapter failures the feed
+        falls back to the cached last-good value (while younger than
+        ``staleness_limit_s``) and then to the synthetic forecast.
+        """
+        state = self._state(zone_id)
+        delays = self.retry.delays()
+        for attempt in range(self.retry.max_attempts):
+            try:
+                value = float(self.adapter.fetch(zone_id, hour))
+            except FeedError:
+                if attempt < len(delays):
+                    delay = delays[attempt]
+                    self.events.append(FeedEvent(
+                        kind="retry", zone_id=zone_id, time_s=now_s, delay_s=delay))
+                    self.sleep(delay)
+                continue
+            if state.failing:
+                self.events.append(FeedEvent(
+                    kind="recovered", zone_id=zone_id, time_s=now_s))
+            state.failing = False
+            state.last_good = value
+            state.last_good_at_s = now_s
+            return FeedSample(zone_id=zone_id, hour=hour, intensity=value,
+                              source="live")
+        state.failing = True
+        age_s = now_s - state.last_good_at_s
+        if state.last_good is not None and age_s <= self.staleness_limit_s:
+            self.events.append(FeedEvent(
+                kind="fallback-cache", zone_id=zone_id, time_s=now_s))
+            return FeedSample(zone_id=zone_id, hour=hour,
+                              intensity=state.last_good, source="cache")
+        # Staleness-triggered graceful degradation: the synthetic forecast is
+        # exactly what the optimiser's Ī_j already integrates, so a degraded
+        # feed flags telemetry without perturbing placement decisions.
+        self.events.append(FeedEvent(
+            kind="fallback-forecast", zone_id=zone_id, time_s=now_s))
+        value = float(self.service.forecast_mean(zone_id, hour, horizon_hours=1))
+        return FeedSample(zone_id=zone_id, hour=hour, intensity=value,
+                          source="forecast", stale=True)
+
+    def refresh(self, zone_ids: list[str], hour: int,
+                now_s: float = 0.0) -> dict[str, FeedSample]:
+        """Fetch every zone once (the serving loop's intensity-update tick)."""
+        return {zone: self.fetch(zone, hour, now_s) for zone in zone_ids}
+
+    def any_failing(self) -> bool:
+        """Whether any zone's adapter is currently in the failing state."""
+        return any(state.failing for state in self._zones.values())
+
+    def event_counts(self) -> dict[str, int]:
+        """Histogram of recorded feed events by kind (stable key order)."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))

@@ -154,6 +154,46 @@ def clear_substrate_cache() -> None:
     clear_scenario_compilations()
 
 
+def build_epoch_record(problem: PlacementProblem, compilation, solution,
+                       epoch: int, start_hour: int,
+                       record_assignments: bool = False) -> EpochRecord:
+    """Assemble one policy's :class:`EpochRecord` from a solved epoch.
+
+    This is the single definition of what an epoch decision *is* — shared by
+    the batch loop (:meth:`CDNSimulator.run`) and the online placement
+    service (:mod:`repro.serving.service`), so the replay-parity contract
+    byte-diffs two runs of the same record builder rather than two
+    hand-maintained copies of it.
+    """
+    if solution.placements:
+        j_arr = np.fromiter(solution.placements.values(), dtype=np.intp,
+                            count=len(solution.placements))
+        hosting_intensities = problem.intensity[j_arr].tolist()
+    else:
+        hosting_intensities = []
+    assignments: dict[str, str] = {}
+    if record_assignments:
+        assignments = {app_id: problem.servers[j].server_id
+                       for app_id, j in solution.placements.items()}
+    return EpochRecord(
+        epoch=epoch,
+        start_hour=start_hour,
+        policy=solution.policy_name,
+        carbon_g=solution.total_carbon_g(),
+        energy_j=solution.total_energy_j(),
+        mean_one_way_latency_ms=solution.mean_latency_ms(),
+        latency_increase_one_way_ms=solution.latency_increase_ms(),
+        n_placed=solution.n_placed,
+        n_unplaced=len(solution.unplaced),
+        apps_per_site=solution.apps_per_site(),
+        hosting_intensities=hosting_intensities,
+        solve_time_s=solution.solve_time_s,
+        n_nearest_unreachable=compilation.n_nearest_unreachable,
+        shard_parallel_fraction=solution.shard_parallel_fraction,
+        assignments=assignments,
+    )
+
+
 @dataclass
 class CDNSimulator:
     """Year-long CDN simulation for one scenario."""
@@ -232,7 +272,7 @@ class CDNSimulator:
         )
 
     def run(self, policies: list[PlacementPolicy] | None = None,
-            validate: bool = True) -> SimulationResult:
+            validate: bool = True, record_assignments: bool = False) -> SimulationResult:
         """Run the full scenario for every policy and collect epoch records.
 
         Each epoch's problem is assembled from the scenario-lifetime
@@ -250,40 +290,20 @@ class CDNSimulator:
         result = SimulationResult(scenario_name=f"CDN-{self.scenario.continent}")
         for epoch in range(self.scenario.n_epochs):
             problem = self.epoch_problem(epoch)
-            compilation = compile_placement(problem)
             # Apps with no feasible server at all: no policy can place them
             # and they have no nearest-feasible latency baseline. Reported
             # per epoch (the count is a property of the problem, so it is the
             # same for every policy) instead of silently skewing the
             # latency-increase mean as the seed's fallback did.
-            n_unreachable = compilation.n_nearest_unreachable
+            compilation = compile_placement(problem)
             for policy in policies:
                 solution = policy.timed_place(problem)
                 if validate:
                     validate_solution(solution, strict=True)
-                if solution.placements:
-                    j_arr = np.fromiter(solution.placements.values(), dtype=np.intp,
-                                        count=len(solution.placements))
-                    hosting_intensities = problem.intensity[j_arr].tolist()
-                else:
-                    hosting_intensities = []
-                record = EpochRecord(
-                    epoch=epoch,
-                    start_hour=self.scenario.epoch_start_hour(epoch),
-                    policy=policy.name,
-                    carbon_g=solution.total_carbon_g(),
-                    energy_j=solution.total_energy_j(),
-                    mean_one_way_latency_ms=solution.mean_latency_ms(),
-                    latency_increase_one_way_ms=solution.latency_increase_ms(),
-                    n_placed=solution.n_placed,
-                    n_unplaced=len(solution.unplaced),
-                    apps_per_site=solution.apps_per_site(),
-                    hosting_intensities=hosting_intensities,
-                    solve_time_s=solution.solve_time_s,
-                    n_nearest_unreachable=n_unreachable,
-                    shard_parallel_fraction=solution.shard_parallel_fraction,
-                )
-                result.add(record)
+                result.add(build_epoch_record(
+                    problem, compilation, solution, epoch,
+                    self.scenario.epoch_start_hour(epoch),
+                    record_assignments=record_assignments))
         return result
 
 

@@ -9,6 +9,7 @@ replays (and tests of orchestration behaviour) use the engine directly.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -32,6 +33,8 @@ class SimulationEngine:
     def schedule(self, delay_s: float, kind: str = "event", payload: object = None,
                  handler: Callable[[Event], None] | None = None, priority: int = 0) -> Event:
         """Schedule an event ``delay_s`` seconds after the current time."""
+        if not math.isfinite(delay_s):
+            raise ValueError(f"delay_s must be finite, got {delay_s}")
         if delay_s < 0:
             raise ValueError("delay_s must be non-negative")
         return self.queue.schedule(self.clock.now_seconds + delay_s, kind=kind,
@@ -40,6 +43,8 @@ class SimulationEngine:
     def schedule_at(self, time_s: float, kind: str = "event", payload: object = None,
                     handler: Callable[[Event], None] | None = None, priority: int = 0) -> Event:
         """Schedule an event at an absolute simulation time."""
+        if not math.isfinite(time_s):
+            raise ValueError(f"time_s must be finite, got {time_s}")
         if time_s < self.clock.now_seconds:
             raise ValueError(
                 f"cannot schedule in the past (now={self.clock.now_seconds}, at={time_s})")

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -24,6 +25,12 @@ class Event:
     handler: Callable[["Event"], None] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
+        # ``NaN < 0`` is False, so a plain non-negativity check would let NaN
+        # through — and a NaN time makes heap comparisons inconsistent,
+        # silently corrupting the queue's ordering. Reject all non-finite
+        # times (NaN, +inf, -inf) up front.
+        if not math.isfinite(self.time_s):
+            raise ValueError(f"event time must be finite, got {self.time_s}")
         if self.time_s < 0:
             raise ValueError(f"event time must be non-negative, got {self.time_s}")
 

@@ -37,6 +37,12 @@ class EpochRecord:
     #: the serial kernel, ``None`` an unsharded run. Execution diagnostics,
     #: not science — the placements are bit-identical either way.
     shard_parallel_fraction: float | None = None
+    #: Full placement decision (app id -> hosting server id), populated only
+    #: when the caller asks for it (``record_assignments``): the replay-parity
+    #: harness byte-diffs these against the online serving loop's decisions.
+    #: Empty by default so year-long simulations don't hold every epoch's
+    #: assignment map in memory.
+    assignments: dict[str, str] = field(default_factory=dict)
 
 
 @dataclass

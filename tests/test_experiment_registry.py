@@ -16,11 +16,12 @@ from repro.experiments.results import (
 )
 from repro.simulator.runner import ScenarioRunner
 
-#: Every artifact of the paper's evaluation, in paper order.
+#: Every artifact of the paper's evaluation, in paper order, plus the
+#: online-serving soak (a "service" artifact, registered last).
 EXPECTED_NAMES = [
     "fig01", "fig02", "fig03", "fig04", "table1", "fig05", "fig07", "fig08",
     "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17",
+    "fig17", "serving_soak",
 ]
 
 
@@ -28,7 +29,7 @@ def test_every_paper_artifact_is_registered():
     assert registry.names() == EXPECTED_NAMES
     for spec in registry.all_specs():
         assert spec.title
-        assert spec.kind in ("figure", "table")
+        assert spec.kind in ("figure", "table", "service")
 
 
 def test_get_unknown_experiment_raises():

@@ -1,0 +1,216 @@
+"""Fault injection for the carbon feed: retries, fallbacks, recovery.
+
+The serving loop's feed contract: a :class:`ResilientCarbonFeed` never raises;
+adapter failures walk retry → cached last-good → synthetic-forecast fallback
+with the exponential-backoff schedule recorded on the feed events; and —
+because the forecast fallback returns exactly the values the placement
+objective already optimises against — a degraded feed changes feed telemetry,
+never placement decisions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.carbon.service import CarbonIntensityService
+from repro.carbon.synthetic import SyntheticTraceGenerator
+from repro.datasets.electricity_maps import default_zone_catalog
+from repro.serving.feed import (
+    ElectricityMapsFeed,
+    FeedError,
+    ResilientCarbonFeed,
+    RetryPolicy,
+    TraceFeed,
+)
+from repro.serving.loadgen import LoadGenerator
+from repro.serving.service import PlacementService, ServingConfig
+from repro.simulator.scenario import CDNScenario
+
+
+class FlakyAdapter:
+    """Fails the first ``fail_times`` fetches with FeedError, then succeeds."""
+
+    def __init__(self, fail_times: int, value: float = 250.0):
+        self.fail_times = fail_times
+        self.value = value
+        self.calls = 0
+
+    def fetch(self, zone_id: str, hour: int) -> float:
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise FeedError(f"injected failure #{self.calls}")
+        return self.value
+
+
+@pytest.fixture()
+def carbon_service() -> CarbonIntensityService:
+    catalog = default_zone_catalog()
+    zones = [catalog.get("EU-PL"), catalog.get("EU-IT-MIL")]
+    traces = SyntheticTraceGenerator(seed=5, n_hours=168).generate_set(zones)
+    return CarbonIntensityService(traces=traces)
+
+
+def test_retry_policy_backoff_schedule():
+    assert RetryPolicy(max_attempts=4, base_delay_s=0.5,
+                       factor=2.0).delays() == [0.5, 1.0, 2.0]
+    # The cap clamps the tail of the schedule.
+    assert RetryPolicy(max_attempts=5, base_delay_s=1.0, factor=10.0,
+                       max_delay_s=50.0).delays() == [1.0, 10.0, 50.0, 50.0]
+    assert RetryPolicy(max_attempts=1).delays() == []
+    with pytest.raises(ValueError, match="max_attempts"):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError, match="factor"):
+        RetryPolicy(factor=0.5)
+    with pytest.raises(ValueError, match="non-negative"):
+        RetryPolicy(base_delay_s=-1.0)
+
+
+def test_transient_failures_retry_with_recorded_backoff(carbon_service):
+    """Two failures then success: two backoff sleeps, then a live sample."""
+    adapter = FlakyAdapter(fail_times=2)
+    slept: list[float] = []
+    feed = ResilientCarbonFeed(adapter=adapter, service=carbon_service,
+                               retry=RetryPolicy(max_attempts=4,
+                                                 base_delay_s=0.5, factor=2.0),
+                               sleep=slept.append)
+    sample = feed.fetch("EU-PL", hour=10, now_s=0.0)
+    assert sample.source == "live" and sample.intensity == 250.0
+    assert not sample.stale
+    assert slept == [0.5, 1.0]
+    assert [e.kind for e in feed.events] == ["retry", "retry"]
+    assert [e.delay_s for e in feed.events] == [0.5, 1.0]
+    assert adapter.calls == 3
+    assert not feed.any_failing()
+
+
+def test_exhausted_retries_fall_back_to_cache_then_forecast(carbon_service):
+    """live → (fresh) cache → (stale) forecast, with staleness flagged."""
+    adapter = FlakyAdapter(fail_times=10 ** 6, value=0.0)
+    feed = ResilientCarbonFeed(adapter=adapter, service=carbon_service,
+                               retry=RetryPolicy(max_attempts=2),
+                               staleness_limit_s=3600.0)
+    # Seed the cache as if a live fetch had succeeded at t=0.
+    state = feed._state("EU-PL")
+    state.last_good, state.last_good_at_s = 321.0, 0.0
+
+    cached = feed.fetch("EU-PL", hour=11, now_s=100.0)
+    assert cached.source == "cache" and cached.intensity == 321.0
+    assert not cached.stale
+    assert feed.any_failing()
+
+    degraded = feed.fetch("EU-PL", hour=11, now_s=5000.0)
+    assert degraded.source == "forecast" and degraded.stale
+    # Graceful degradation returns exactly the optimiser's forecast value.
+    assert degraded.intensity == pytest.approx(
+        carbon_service.forecast_mean("EU-PL", 11, horizon_hours=1))
+    kinds = feed.event_counts()
+    assert kinds["fallback-cache"] == 1
+    assert kinds["fallback-forecast"] == 1
+    assert kinds["retry"] == 2  # one recorded backoff per exhausted fetch
+
+
+def test_recovery_after_outage_emits_recovered_event(carbon_service):
+    adapter = FlakyAdapter(fail_times=2, value=199.0)
+    feed = ResilientCarbonFeed(adapter=adapter, service=carbon_service,
+                               retry=RetryPolicy(max_attempts=1))
+    first = feed.fetch("EU-PL", hour=0, now_s=0.0)
+    second = feed.fetch("EU-PL", hour=1, now_s=10.0)
+    assert first.source == "forecast" and second.source == "forecast"
+    assert feed.any_failing()
+    third = feed.fetch("EU-PL", hour=2, now_s=20.0)
+    assert third.source == "live" and third.intensity == 199.0
+    assert not feed.any_failing()
+    assert feed.event_counts()["recovered"] == 1
+
+
+def test_refresh_resolves_every_zone(carbon_service):
+    feed = ResilientCarbonFeed(adapter=TraceFeed(carbon_service),
+                               service=carbon_service)
+    samples = feed.refresh(["EU-PL", "EU-IT-MIL"], hour=7, now_s=0.0)
+    assert set(samples) == {"EU-PL", "EU-IT-MIL"}
+    for zone, sample in samples.items():
+        assert sample.source == "live"
+        assert sample.intensity == pytest.approx(
+            carbon_service.current_intensity(zone, 7))
+
+
+def test_trace_feed_rejects_unknown_zone(carbon_service):
+    with pytest.raises(FeedError, match="no trace"):
+        TraceFeed(carbon_service).fetch("??", hour=0)
+
+
+# -- ElectricityMaps adapter (offline, via injected transport) -----------------
+
+
+def test_electricity_maps_feed_parses_live_payload():
+    seen: dict[str, object] = {}
+
+    def transport(url, headers, timeout_s):
+        seen.update(url=url, headers=headers, timeout_s=timeout_s)
+        return json.dumps({"zone": "EU-PL", "carbonIntensity": 301.5})
+
+    feed = ElectricityMapsFeed(api_key="k3y", transport=transport)
+    assert feed.fetch("EU-PL", hour=0) == pytest.approx(301.5)
+    assert "carbon-intensity/latest" in seen["url"] and "zone=EU-PL" in seen["url"]
+    assert seen["headers"] == {"auth-token": "k3y"}
+    assert seen["timeout_s"] == 5.0
+
+
+@pytest.mark.parametrize("body, match", [
+    ("{not json", "invalid JSON"),
+    (json.dumps({"zone": "EU-PL"}), "no finite"),
+    (json.dumps({"carbonIntensity": "high"}), "no finite"),
+    (json.dumps({"carbonIntensity": float("nan")}), "no finite"),
+    (json.dumps([1, 2, 3]), "no finite"),
+])
+def test_electricity_maps_feed_rejects_bad_payloads(body, match):
+    feed = ElectricityMapsFeed(api_key="k3y",
+                               transport=lambda *_args: body)
+    with pytest.raises(FeedError, match=match):
+        feed.fetch("EU-PL", hour=0)
+
+
+def test_electricity_maps_feed_requires_api_key():
+    def transport(*_args):
+        raise AssertionError("must not hit the network without a key")
+
+    with pytest.raises(FeedError, match="API key"):
+        ElectricityMapsFeed(api_key="", transport=transport).fetch("EU-PL", 0)
+
+
+def test_electricity_maps_transport_errors_surface_as_feed_errors():
+    def transport(url, headers, timeout_s):
+        raise FeedError("connection timed out")
+
+    adapter = ElectricityMapsFeed(api_key="k3y", transport=transport)
+    with pytest.raises(FeedError, match="timed out"):
+        adapter.fetch("EU-PL", hour=0)
+
+
+# -- the satellite contract: degraded feeds never change placements ------------
+
+
+def _decision_log_with_adapter(scenario, adapter, seed=21):
+    service = PlacementService.from_scenario(
+        scenario, adapter=adapter,
+        config=ServingConfig(batch_interval_s=600.0, resolve_interval_s=3600.0))
+    load = LoadGenerator(sites=service.simulator.fleet.sites(),
+                         rate_per_s=0.01, mean_lifetime_s=3600.0, seed=seed)
+    report = service.run_live(load, duration_s=2 * 3600.0)
+    return report.metrics
+
+
+def test_feed_outage_changes_telemetry_but_not_placements():
+    scenario = CDNScenario(continent="EU", max_sites=5, seed=9)
+    healthy = _decision_log_with_adapter(scenario, adapter=None)
+    broken = _decision_log_with_adapter(
+        scenario, adapter=FlakyAdapter(fail_times=10 ** 9))
+    # Identical decisions, byte for byte …
+    assert broken.canonical_decision_log() == healthy.canonical_decision_log()
+    assert broken.decision_digest() == healthy.decision_digest()
+    # … but very different feed telemetry.
+    assert set(healthy.feed_samples) == {"live"} and not healthy.feed_stale
+    assert set(broken.feed_samples) == {"forecast"} and broken.feed_stale
+    assert broken.feed_events["fallback-forecast"] > 0

@@ -1,0 +1,136 @@
+"""Property-based invariants of the serving loop (hypothesis).
+
+The online service's replay-parity contract stands on two determinism pillars:
+the event queue must be a *stable* priority queue — equal ``(time, priority)``
+keys pop in insertion (FIFO) order — and the load generator's stream must be a
+pure function of its seed. These properties hammer both, plus the envelope
+invariant of the thinning-based shape synthesis, and the end-to-end property
+that two service runs over the same stream produce byte-identical canonical
+decision logs.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serving.loadgen import SHAPES, LoadGenerator
+from repro.serving.service import PlacementService, ServingConfig
+from repro.simulator.events import Event, EventQueue
+from repro.simulator.scenario import CDNScenario
+
+# -- EventQueue: stable priority-queue order -----------------------------------
+
+event_keys = st.lists(
+    st.tuples(st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False),
+              st.integers(0, 3)),
+    min_size=0, max_size=50)
+
+
+@given(keys=event_keys)
+def test_pop_order_is_stable_sort_by_time_then_priority(keys):
+    """Pop order == stable sort of insertion order by (time, priority).
+
+    This *is* the FIFO tie-break guarantee: list.sort is stable, so events
+    with equal keys appear in insertion order in the expected sequence, and
+    the queue must reproduce exactly that.
+    """
+    queue = EventQueue()
+    events = [Event(time_s=t, priority=p, payload=i)
+              for i, (t, p) in enumerate(keys)]
+    for event in events:
+        queue.push(event)
+    popped = []
+    while not queue.empty:
+        popped.append(queue.pop())
+    expected = sorted(events, key=lambda e: (e.time_s, e.priority))
+    assert [e.payload for e in popped] == [e.payload for e in expected]
+
+
+@given(keys=event_keys, salt=st.randoms(use_true_random=False))
+def test_unique_keys_pop_identically_for_any_insertion_order(keys, salt):
+    """With unique (time, priority) keys the pop order ignores insertion order."""
+    unique = list({(t, p): None for t, p in keys})
+    shuffled = list(unique)
+    salt.shuffle(shuffled)
+    orders = []
+    for sequence in (unique, shuffled):
+        queue = EventQueue()
+        for t, p in sequence:
+            queue.push(Event(time_s=t, priority=p, payload=(t, p)))
+        popped = []
+        while not queue.empty:
+            popped.append(queue.pop().payload)
+        orders.append(popped)
+    assert orders[0] == orders[1]
+
+
+@given(times=st.lists(st.floats(0.0, 10.0, allow_nan=False,
+                                allow_infinity=False),
+                      min_size=1, max_size=30))
+def test_equal_timestamps_preserve_fifo(times):
+    """All events at one timestamp pop in exactly the order they were pushed."""
+    queue = EventQueue()
+    t = times[0]
+    for i in range(len(times)):
+        queue.push(Event(time_s=t, payload=i))
+    popped = []
+    while not queue.empty:
+        popped.append(queue.pop().payload)
+    assert popped == list(range(len(times)))
+
+
+# -- LoadGenerator: determinism and shape envelope -----------------------------
+
+
+@given(seed=st.integers(0, 2**31 - 1), shape=st.sampled_from(SHAPES),
+       rate=st.floats(0.001, 0.05, allow_nan=False))
+@settings(max_examples=25, deadline=None)
+def test_load_stream_is_a_pure_function_of_the_seed(seed, shape, rate):
+    streams = []
+    for _ in range(2):
+        load = LoadGenerator(sites=["a", "b", "c"], rate_per_s=rate,
+                             shape=shape, mean_lifetime_s=1800.0, seed=seed)
+        events = load.events(6 * 3600.0)
+        streams.append([(e.time_s, e.kind,
+                         e.payload if isinstance(e.payload, str)
+                         else e.payload.app_id)
+                        for e in events])
+    assert streams[0] == streams[1]
+    # Time-ordered, inside the horizon, and every departure follows its arrival.
+    times = [t for t, _, _ in streams[0]]
+    assert times == sorted(times)
+    assert all(0.0 <= t < 6 * 3600.0 for t in times)
+    arrivals = {app_id: t for t, kind, app_id in streams[0] if kind == "arrival"}
+    for t, kind, app_id in streams[0]:
+        if kind == "departure":
+            assert app_id in arrivals and t >= arrivals[app_id]
+
+
+@given(shape=st.sampled_from(SHAPES),
+       t=st.floats(0.0, 7 * 86400.0, allow_nan=False))
+def test_rate_never_exceeds_the_thinning_envelope(shape, t):
+    load = LoadGenerator(sites=["a"], rate_per_s=0.02, shape=shape,
+                         diurnal_amplitude=0.8, burst_multiplier=6.0)
+    assert 0.0 <= load.rate_at(t) <= load.peak_rate() + 1e-12
+
+
+# -- end-to-end: the serving loop's decisions are deterministic ----------------
+
+
+def _live_decision_log(scenario: CDNScenario, seed: int) -> str:
+    service = PlacementService.from_scenario(
+        scenario, config=ServingConfig(batch_interval_s=300.0,
+                                       resolve_interval_s=3600.0))
+    load = LoadGenerator(sites=service.simulator.fleet.sites(),
+                         rate_per_s=0.01, mean_lifetime_s=3600.0, seed=seed)
+    report = service.run_live(load, duration_s=3 * 3600.0)
+    return report.metrics.canonical_decision_log()
+
+
+def test_service_decision_log_is_deterministic():
+    """Two live runs over the same stream produce identical canonical bytes."""
+    scenario = CDNScenario(continent="EU", max_sites=5, seed=3)
+    first = _live_decision_log(scenario, seed=11)
+    second = _live_decision_log(scenario, seed=11)
+    assert first == second
+    assert first != _live_decision_log(scenario, seed=12)

@@ -18,6 +18,29 @@ def test_event_validation_and_ordering():
     assert queue.pop().kind == "b"
 
 
+def test_event_rejects_non_finite_times():
+    # Regression: ``NaN < 0`` is False, so NaN used to slip past the
+    # non-negativity check and corrupt the heap's ordering invariant.
+    for bad in (float("nan"), float("inf"), float("-inf")):
+        with pytest.raises(ValueError, match="finite|non-negative"):
+            Event(time_s=bad)
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.schedule(float("nan"))
+
+
+def test_engine_rejects_non_finite_schedule_times():
+    engine = SimulationEngine()
+    for bad in (float("nan"), float("inf")):
+        with pytest.raises(ValueError, match="finite"):
+            engine.schedule(bad, kind="tick")
+        with pytest.raises(ValueError, match="finite"):
+            engine.schedule_at(bad, kind="tick")
+    # NaN must not poison comparisons against the current clock either.
+    with pytest.raises(ValueError, match="finite"):
+        engine.schedule_at(float("-inf"), kind="tick")
+
+
 def test_queue_fifo_for_equal_keys():
     queue = EventQueue()
     queue.schedule(1.0, kind="first")
