@@ -61,6 +61,17 @@ class PlacementSolution:
     #: backend does not shard — kept on the solution so saturated-epoch
     #: degradation is observable in simulation artifacts instead of silent.
     shard_parallel_fraction: float | None = None
+    #: Number of batched wave commits the reconciliation replay executed
+    #: (:class:`repro.solver.compile.FillStats`). Execution diagnostics only:
+    #: the value varies with the reconcile mode while placements stay
+    #: bit-identical. ``None`` when the backend does not run the greedy
+    #: kernel.
+    wave_count: int | None = None
+    #: Fraction of replayed applications that took the exact per-application
+    #: step instead of a batched wave commit (1.0 under the serial replay,
+    #: near 0.0 when the wave replay settles almost everything). ``None``
+    #: when the backend does not run the greedy kernel.
+    revalidation_rate: float | None = None
 
     def __post_init__(self) -> None:
         if len(self.power_on) == 0:

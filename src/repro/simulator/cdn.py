@@ -190,6 +190,8 @@ def build_epoch_record(problem: PlacementProblem, compilation, solution,
         solve_time_s=solution.solve_time_s,
         n_nearest_unreachable=compilation.n_nearest_unreachable,
         shard_parallel_fraction=solution.shard_parallel_fraction,
+        wave_count=solution.wave_count,
+        revalidation_rate=solution.revalidation_rate,
         assignments=assignments,
     )
 

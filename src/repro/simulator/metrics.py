@@ -37,6 +37,15 @@ class EpochRecord:
     #: the serial kernel, ``None`` an unsharded run. Execution diagnostics,
     #: not science — the placements are bit-identical either way.
     shard_parallel_fraction: float | None = None
+    #: Batched wave commits the reconciliation replay executed for this
+    #: epoch's construction (``FillStats.waves``); ``None`` when the backend
+    #: does not run the greedy kernel. Execution diagnostics like
+    #: ``shard_parallel_fraction`` — varies with the reconcile mode, never
+    #: with the placements.
+    wave_count: int | None = None
+    #: Fraction of replayed applications that took the exact per-application
+    #: step instead of a batched wave commit (1.0 under the serial replay).
+    revalidation_rate: float | None = None
     #: Full placement decision (app id -> hosting server id), populated only
     #: when the caller asks for it (``record_assignments``): the replay-parity
     #: harness byte-diffs these against the online serving loop's decisions.
@@ -127,6 +136,21 @@ class SimulationResult:
         """
         values = [r.shard_parallel_fraction for r in self._of(policy)
                   if r.shard_parallel_fraction is not None]
+        if not values:
+            return None
+        return float(np.mean(values))
+
+    def mean_revalidation_rate(self, policy: str) -> float | None:
+        """Mean per-epoch reconciliation revalidation rate of one policy.
+
+        ``None`` when no epoch reported replay telemetry; values near 1.0
+        mean the epochs replayed per application (serial reconcile mode, or
+        conflict-dense instances past the wave budget), values near 0.0 mean
+        the wave replay settled almost everything in batched commits (see
+        ``EpochRecord.revalidation_rate``).
+        """
+        values = [r.revalidation_rate for r in self._of(policy)
+                  if r.revalidation_rate is not None]
         if not values:
             return None
         return float(np.mean(values))

@@ -74,18 +74,25 @@ class GreedyLocalSearchBackend:
         parallel_fraction: float | None = None
         if shards > 1:
             plan = greedy_fill_sharded(state, request.problem.energy_j, shards,
-                                       request.config.min_shard_apps)
+                                       request.config.min_shard_apps,
+                                       reconcile_mode=request.config.reconcile_mode,
+                                       dispatch=request.config.dispatch)
             # Surface how much of the construction actually parallelised —
             # 0.0 marks a saturated epoch that degraded to the serial kernel
             # (planner refused, or one coupled component dominated).
             parallel_fraction = plan.parallel_fraction \
                 if plan is not None and plan.is_parallel else 0.0
         else:
-            greedy_fill(state, request.problem.energy_j)
+            greedy_fill(state, request.problem.energy_j,
+                        reconcile_mode=request.config.reconcile_mode)
         if self.local_search:
             self._improve(request, state)
         solution = solution_from_assignment(request, state.assignment)
         solution.shard_parallel_fraction = parallel_fraction
+        # Replay-execution telemetry (diagnostics only — placements are
+        # bit-identical across reconcile modes; see FillStats).
+        solution.wave_count = state.stats.waves
+        solution.revalidation_rate = state.stats.revalidation_rate
         return solution
 
     # -- construction ---------------------------------------------------------

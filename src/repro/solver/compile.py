@@ -51,13 +51,24 @@ index. This replaces the seed's object-based ``greedy_place`` engine, whose
 lexicographic ``(cost, tie)`` rule it reproduces up to that epsilon (a frozen
 copy of the old engine served as a parity oracle for one release and has
 since been retired).
+
+**Wave-vectorised reconciliation.** Wherever speculative winners or shard
+placements are replayed into the shared state, the replay runs in *waves*:
+maximal serial-order prefixes whose capacity dependencies are provably
+settled commit as one dense batched operation
+(:meth:`GreedyState.place_batch`), and only the residual conflicting tail
+drops to the exact per-application step. The wave path is bit-identical to
+the per-application replay (``CARBON_EDGE_DISABLE_WAVE_REPLAY=1`` forces the
+latter; the hypothesis suite and CI byte-diffs pin the contract) and is
+shared by the serial kernel's cold fast path and the sharded reconciliation
+pass. Shard tasks themselves execute through the persistent dispatch pool
+(:mod:`repro.solver.dispatch`) instead of a per-call executor.
 """
 
 from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING, Sequence
@@ -81,6 +92,7 @@ from repro.core.problem import (
 from repro.cluster.resources import ResourceVector
 from repro.core.solution import PlacementSolution
 from repro.solver.config import MIN_SHARD_APPS
+from repro.solver.dispatch import run_tasks
 
 if TYPE_CHECKING:  # typing only — no runtime dependency on these layers
     from repro.carbon.service import CarbonIntensityService
@@ -184,6 +196,54 @@ def bool_all(fits_per_key: np.ndarray) -> np.ndarray:
     return np.all(fits_per_key, axis=-1)
 
 
+#: Environment kill-switch for the wave-vectorised reconciliation replay
+#: (used by the CI byte-diff arms): set to ``1`` to force the per-application
+#: replay loop everywhere ``reconcile_mode="auto"`` applies.
+WAVE_REPLAY_ENV: str = "CARBON_EDGE_DISABLE_WAVE_REPLAY"
+
+
+def wave_replay_enabled() -> bool:
+    """Whether ``reconcile_mode="auto"`` resolves to the wave replay."""
+    return os.environ.get(WAVE_REPLAY_ENV, "").strip().lower() not in (
+        "1", "true", "yes", "on")
+
+
+def _use_wave_replay(reconcile_mode: str) -> bool:
+    """Resolve a reconcile knob: explicit modes win, ``auto`` follows the
+    :data:`WAVE_REPLAY_ENV` kill-switch (wave unless disabled)."""
+    if reconcile_mode == "wave":
+        return True
+    if reconcile_mode == "serial":
+        return False
+    return wave_replay_enabled()
+
+
+@dataclass
+class FillStats:
+    """Execution telemetry of the greedy fills run against one state.
+
+    Pure diagnostics, never inputs: the numbers describe *how* the replay
+    executed (and differ between reconcile modes and epochs) while the
+    placements stay bit-identical. Accumulated on :attr:`GreedyState.stats`
+    and surfaced as ``wave_count`` / ``revalidation_rate`` on
+    :class:`~repro.core.solution.PlacementSolution` and ``EpochRecord``.
+    """
+
+    waves: int = 0
+    wave_placements: int = 0
+    serial_steps: int = 0
+    invalidations: int = 0
+    pending: int = 0
+
+    @property
+    def revalidation_rate(self) -> float:
+        """Fraction of processed applications that took the exact
+        per-application step instead of a batched wave commit."""
+        if self.pending == 0:
+            return 0.0
+        return self.serial_steps / self.pending
+
+
 class GreedyState:
     """Mutable assignment state shared by the construction and search phases."""
 
@@ -193,19 +253,22 @@ class GreedyState:
         self.assignment = np.full(n_apps, -1, dtype=int)
         self.capacity_left = dense.capacity.copy()
         self.served = np.zeros(n_servers, dtype=int)
+        self.stats = FillStats()
 
     def clone(self) -> "GreedyState":
         """Independent copy of the mutable state over the same shared tensors.
 
         Shard workers solve against clones so concurrent shards never mutate
         the shared state; the reconciliation pass replays their placements
-        into the original afterwards.
+        into the original afterwards. Clones start with fresh telemetry —
+        their fills are scratch work, not part of the original's replay.
         """
         other = GreedyState.__new__(GreedyState)
         other.dense = self.dense
         other.assignment = self.assignment.copy()
         other.capacity_left = self.capacity_left.copy()
         other.served = self.served.copy()
+        other.stats = FillStats()
         return other
 
     def would_activate(self) -> np.ndarray:
@@ -217,6 +280,28 @@ class GreedyState:
         self.assignment[i] = j
         self.capacity_left[j] -= self.dense.demand[i, j]
         self.served[j] += 1
+
+    def place_batch(self, apps: np.ndarray, servers: np.ndarray) -> None:
+        """Commit one wave of placements with dense batched operations.
+
+        ``apps`` / ``servers`` are parallel index arrays in the serial
+        kernel's processing order. ``np.ufunc.at`` applies repeated indices
+        sequentially in order of appearance, so the per-server float
+        subtraction sequence — and therefore ``capacity_left``, byte for
+        byte — is identical to issuing the same :meth:`place` calls one at a
+        time (the hypothesis suite pins this). Shared by the serial kernel's
+        cold fast path and the sharded reconciliation pass; callers are
+        responsible for only batching placements whose validity cannot depend
+        on each other (see :func:`_replay_waves`).
+        """
+        if len(apps) == 0:
+            return
+        self.assignment[apps] = servers
+        np.subtract.at(self.capacity_left, servers,
+                       self.dense.demand[apps, servers])
+        np.add.at(self.served, servers, 1)
+        self.stats.waves += 1
+        self.stats.wave_placements += int(len(apps))
 
     def move(self, i: int, j0: int, j1: int) -> None:
         """Relocate application ``i`` from server ``j0`` to ``j1``."""
@@ -249,7 +334,8 @@ def _pending_order(state: GreedyState, energy_j: np.ndarray,
 
 
 def greedy_fill(state: GreedyState, energy_j: np.ndarray,
-                apps: Sequence[int] | None = None) -> None:
+                apps: Sequence[int] | None = None,
+                reconcile_mode: str = "auto") -> None:
     """THE greedy placement kernel (every policy and backend routes here).
 
     Places each still-unassigned application at its cheapest marginal-cost
@@ -272,12 +358,13 @@ def greedy_fill(state: GreedyState, energy_j: np.ndarray,
     on, already serving, or free to activate — the same condition the shard
     planner's speculative mode tests), the kernel runs the
     speculate-and-revalidate schedule serially: one batched row-argmin picks
-    every application's capacity-oblivious winner, and the per-application
-    replay only re-checks that winner's own fit (O(K)) instead of scanning
-    the full server axis, falling back to the exact per-row step on
-    invalidation. The placements — and the float arithmetic order of the
-    shared state — are bit-identical to the naive loop by the certificate
-    documented on :func:`plan_shards`.
+    every application's capacity-oblivious winner, and the replay commits
+    them — in waves of dense batched operations by default
+    (:func:`_replay_waves`), or through the per-application loop when
+    ``reconcile_mode`` (or the ``CARBON_EDGE_DISABLE_WAVE_REPLAY``
+    kill-switch) selects it. The placements — and the float arithmetic order
+    of the shared state — are bit-identical to the naive loop by the
+    certificate documented on :func:`plan_shards`, for every mode.
     """
     dense = state.dense
     order = _pending_order(state, energy_j, apps)
@@ -290,7 +377,7 @@ def greedy_fill(state: GreedyState, energy_j: np.ndarray,
     # never-activating server still poisons the naive loop's marginal row
     # (inf * 0.0 is NaN), which the static cost row would not reproduce.
     if not activation_coupled.any() and np.isfinite(dense.activation).all():
-        _greedy_fill_cold(state, order)
+        _greedy_fill_cold(state, order, reconcile_mode)
         return
     _greedy_fill_live(state, order)
 
@@ -301,6 +388,8 @@ def _greedy_fill_live(state: GreedyState, order: Sequence[int]) -> None:
     marginal row genuinely changes as servers switch on); also the reference
     arm of the kernel benchmark."""
     dense = state.dense
+    state.stats.pending += len(order)
+    state.stats.serial_steps += len(order)
     for i in order:
         feasible = dense.mask[i] & dense.fits(i, state.capacity_left)
         if not feasible.any():
@@ -312,7 +401,8 @@ def _greedy_fill_live(state: GreedyState, order: Sequence[int]) -> None:
             state.place(i, j)
 
 
-def _greedy_fill_cold(state: GreedyState, order: Sequence[int]) -> None:
+def _greedy_fill_cold(state: GreedyState, order: Sequence[int],
+                      reconcile_mode: str = "auto") -> None:
     """Serial speculate-and-revalidate fill for a cold activation channel.
 
     Identical to the reconciliation replay of :func:`greedy_fill_sharded`'s
@@ -320,33 +410,174 @@ def _greedy_fill_cold(state: GreedyState, order: Sequence[int]) -> None:
     the static ``dense.cost`` row at every point of the fill (the activation
     term is identically zero), so the capacity-oblivious row argmin is the
     serial choice whenever it still fits — and capacity only ever shrinks, so
-    a winner that fits at its turn was never beaten earlier.
+    a winner that fits at its turn was never beaten earlier. The replay
+    commits the winners in waves (:func:`_replay_waves`) unless the reconcile
+    mode selects the per-application loop — bit-identical either way.
     """
     dense = state.dense
     # One authoritative copy of the batched speculative argmin (lowest-index
     # ties, -1 sentinel for rows with no finite candidate) — shared with the
     # sharded path's free chunks.
-    _, choices = _argmin_chunk(dense, np.asarray(order, dtype=int))
+    order = np.asarray(order, dtype=int)
+    _, choices = _argmin_chunk(dense, order)
+    state.stats.pending += len(order)
+    if _use_wave_replay(reconcile_mode):
+        _replay_waves(state, order, choices)
+    else:
+        _replay_per_app(state, order, choices)
+
+
+def _replay_step(state: GreedyState, i: int, j: int) -> None:
+    """The exact per-application replay step for one speculative winner.
+
+    O(K) revalidation of the winner against the evolving capacity (the same
+    comparison ``DenseCosts.fits`` performs), falling back to the exact
+    serial step — full feasibility scan plus static-cost argmin — when the
+    winner was invalidated. The single place the per-application replay and
+    the wave replay's boundary handling share, so both arms perform the same
+    arithmetic in the same order.
+    """
+    dense = state.dense
     demand, capacity_left = dense.demand, state.capacity_left
+    state.stats.serial_steps += 1
+    if j < 0:
+        # No finite-cost candidate at all: the exact step provably leaves
+        # the application unplaced (its feasible set is a subset).
+        return
+    if bool(np.all(demand[i, j] <= capacity_left[j] + 1e-9)):
+        state.place(i, j)
+        return
+    # Invalidated winner: exact serial step for this row.
+    state.stats.invalidations += 1
+    feasible = dense.mask[i] & bool_all(demand[i] <= capacity_left + 1e-9)
+    if not feasible.any():
+        return
+    marginal = np.where(feasible, dense.cost[i], np.inf)
+    j2 = int(np.argmin(marginal))
+    if np.isfinite(marginal[j2]):
+        state.place(i, j2)
+
+
+def _replay_per_app(state: GreedyState, order: np.ndarray,
+                    choices: np.ndarray) -> None:
+    """The per-application reconciliation replay (the ``"serial"`` arm).
+
+    Runs :func:`_replay_step` for every application in processing order —
+    exactly the pre-wave replay loop. Kept as the kill-switch path the CI
+    byte-diff jobs pin, the baseline arm the wave-reconcile benchmark
+    measures against, and the tail fallback of :func:`_replay_waves`.
+    """
     for k, i in enumerate(order):
-        j = int(choices[k])
-        if j < 0:
-            # No finite-cost candidate at all: the exact step provably leaves
-            # the application unplaced (its feasible set is a subset).
-            continue
-        # O(K) revalidation of the speculative winner against the evolving
-        # capacity (the same comparison DenseCosts.fits performs).
-        if bool(np.all(demand[i, j] <= capacity_left[j] + 1e-9)):
-            state.place(i, j)
-            continue
-        # Invalidated winner: exact serial step for this row.
-        feasible = dense.mask[i] & bool_all(demand[i] <= capacity_left + 1e-9)
-        if not feasible.any():
-            continue
-        marginal = np.where(feasible, dense.cost[i], np.inf)
-        j2 = int(np.argmin(marginal))
-        if np.isfinite(marginal[j2]):
-            state.place(i, j2)
+        _replay_step(state, int(i), int(choices[k]))
+
+
+#: The wave replay falls back to the per-application tail once it has scanned
+#: this many multiples of the pending-application count across its rounds, so
+#: adversarially conflicting instances pay at most a few dense passes of
+#: planning overhead on top of the serial work they genuinely need.
+_WAVE_SCAN_BUDGET_FACTOR: int = 8
+
+
+def _replay_waves(state: GreedyState, order: np.ndarray,
+                  choices: np.ndarray) -> None:
+    """Wave-vectorised reconciliation replay of speculative winners.
+
+    Partitions the replay order into *waves* — maximal serial-order prefixes
+    of placements whose capacity dependencies are already settled — commits
+    each wave with one dense batched operation
+    (:meth:`GreedyState.place_batch`), and drops to the exact
+    per-application step (:func:`_replay_step`) only at wave boundaries: the
+    residual conflicting tail.
+
+    **Wave construction rule.** Within the remaining replay order, group the
+    winners by target server and take per-server *prefix sums* of their
+    demand in processing order. A placement is *settled* when its inclusive
+    prefix sum fits the server's current remaining capacity with slack to
+    spare: every earlier winner on that server then also fits at its own
+    turn (smaller prefix), so no interleaving within the wave can invalidate
+    it, and the speculative certificate (see :func:`plan_shards`) makes each
+    such winner the serial kernel's own choice. The wave is the maximal
+    prefix of the order consisting of settled placements (winnerless rows
+    commit nothing and never bound a wave); the first unsettled placement is
+    the boundary, re-derived by the exact per-application step — its
+    fallback may land anywhere, which is why the next round recomputes the
+    prefix sums against the updated capacity.
+
+    Commit order — waves in prefix order, placements in processing order
+    within each wave, boundaries in between — is exactly the serial kernel's
+    processing order, so the per-server float subtraction sequence is
+    reproduced byte for byte (see :meth:`GreedyState.place_batch`). Within a
+    wave the *choice* of each placement is order-immaterial by the
+    certificate above; only the arithmetic order is preserved, for free, by
+    committing in processing order.
+
+    The slack mirrors the shard planner's: the certificate compares
+    vectorised cumulative sums against what the serial kernel computes by
+    sequential subtraction, so the relative terms cover float reassociation
+    drift (of both the capacity row and the cumulative sums the segmented
+    prefix trick subtracts) and the absolute term covers the per-placement
+    fit tolerance accumulated over a server's winners. Overshooting the
+    slack only shrinks waves — never changes placements.
+    """
+    n = len(order)
+    if n == 0:
+        return
+    dense = state.dense
+    capacity_left = state.capacity_left            # live view, mutated by commits
+    has_winner = choices >= 0
+    targets = np.where(has_winner, choices, 0)
+    # Winner demand rows aligned with the replay order ((P, K); zero for
+    # winnerless rows so they never perturb a prefix sum).
+    wdemand = np.where(has_winner[:, None], dense.demand[order, targets], 0.0)
+    budget = _WAVE_SCAN_BUDGET_FACTOR * n
+    pos = 0
+    while pos < n:
+        r = n - pos
+        budget -= r
+        t = targets[pos:]
+        w = wdemand[pos:]
+        hw = has_winner[pos:]
+        # Segmented per-server prefix sums of winner demand in processing
+        # order: the stable argsort groups equal targets while preserving
+        # replay order inside each group, so the inclusive cumulative sum at
+        # each position is exactly the demand the serial kernel would have
+        # subtracted from that server up to and including that placement.
+        by_server = np.argsort(t, kind="stable")
+        sorted_t = t[by_server]
+        sorted_w = w[by_server]
+        cum = np.cumsum(sorted_w, axis=0)
+        group_start = np.empty(r, dtype=bool)
+        group_start[0] = True
+        group_start[1:] = sorted_t[1:] != sorted_t[:-1]
+        start_idx = np.maximum.accumulate(
+            np.where(group_start, np.arange(r), 0))
+        base = cum[start_idx] - sorted_w[start_idx]
+        prefix = cum - base                         # (r, K) inclusive, per server
+        counts = np.bincount(t[hw], minlength=len(capacity_left))
+        cap_row = capacity_left[sorted_t]
+        slack = (1e-9 * (counts[sorted_t][:, None] + 1)
+                 + 1e-7 * np.abs(cap_row)
+                 + 1e-7 * np.abs(base))             # cumsum-cancellation guard
+        settled_sorted = bool_all(prefix <= cap_row - slack) | ~hw[by_server]
+        settled = np.empty(r, dtype=bool)
+        settled[by_server] = settled_sorted
+        unsettled = np.flatnonzero(~settled)
+        cut = int(unsettled[0]) if len(unsettled) else r
+        if cut:
+            wave = slice(pos, pos + cut)
+            winners = has_winner[wave]
+            state.place_batch(order[wave][winners], choices[wave][winners])
+            pos += cut
+        if pos >= n:
+            return
+        # Boundary: the first placement the certificate could not settle.
+        _replay_step(state, int(order[pos]), int(choices[pos]))
+        pos += 1
+        if budget <= 0:
+            # Productivity guard: conflicts are too dense for wave planning
+            # to pay — finish the tail with the per-application replay.
+            _replay_per_app(state, order[pos:], choices[pos:])
+            return
 
 
 # -- intra-epoch sharding ------------------------------------------------------
@@ -398,22 +629,25 @@ def _greedy_fill_cold(state: GreedyState, order: Sequence[int]) -> None:
 # overhead — and the dispatch machinery below serves component mode.
 #
 # **Component mode** handles live activation coupling. A server is **hot**
-# when a coupling can actually fire during this fill: *contended* (the summed
-# demand of every pending application that could choose it exceeds its
-# remaining capacity, less a float-drift safety slack) or
-# *activation-coupled* (initially off, nonzero activation cost, not yet
-# serving). On a non-hot server, ``fits`` holds for every interested
-# application no matter which subset places there, and the activation term is
-# identically zero — placements there are invisible to every other
-# application. An application touching no hot server is **free** (a pure row
-# argmin, order-independent); coupled applications group into connected
-# components over shared hot servers, which touch disjoint hot-server sets by
-# construction and therefore evolve their hot state exactly as in the serial
-# interleaving while running on different shards. Component mode is first a
-# correctness-preserving degradation path: free chunks vectorise (and release
-# the GIL), but coupled bins run the per-application Python loop under the
-# GIL, so heavily coupled epochs approach serial speed plus the planning
-# overhead rather than a real multi-core win.
+# when a coupling can actually fire during this fill: *contended* (a
+# realisable placement set could overflow one of its capacity keys and flip a
+# pending application's fit — certified by the fit-filtered, winner-pinned
+# interest test in :func:`_contended_servers`, strictly sharper than the
+# historical sum-of-all-interested-demand rule) or *activation-coupled*
+# (initially off,
+# nonzero activation cost, not yet serving). On a non-hot server, ``fits``
+# holds for every interested application no matter which realisable subset
+# places there, and the activation term is identically zero — placements
+# there are invisible to every other application. An application touching no
+# hot server is **free** (a pure row argmin, order-independent); coupled
+# applications group into connected components over shared hot servers, which
+# touch disjoint hot-server sets by construction and therefore evolve their
+# hot state exactly as in the serial interleaving while running on different
+# shards. Component mode is first a correctness-preserving degradation path:
+# free chunks vectorise (and release the GIL), but coupled bins run the
+# per-application Python loop, which only genuinely overlaps on free-threaded
+# interpreters — the dispatch layer (:mod:`repro.solver.dispatch`) pools
+# exactly then and runs inline otherwise.
 
 
 @dataclass
@@ -517,15 +751,12 @@ def plan_shards(state: GreedyState, energy_j: np.ndarray, n_shards: int,
         return ShardPlan(mode="speculate", n_shards=n_shards, order=order,
                          free_chunks=chunks, bins=[], hot=activation_coupled)
 
-    # Worst-case demand each server could attract from this fill: the summed
-    # demand of every pending application whose candidate set includes it.
-    interested = np.einsum("ps,psk->sk", mask_p.astype(float), dense.demand[order])
-    # Safety slack: the certificate compares a vectorised sum against what the
-    # serial kernel computes by sequential subtraction; the relative term
-    # covers any float reassociation drift (conservative by orders of
-    # magnitude), the absolute term mirrors the kernel's fits() tolerance.
-    slack = 1e-9 + 1e-7 * np.abs(state.capacity_left)
-    contended = bool_any(interested > state.capacity_left - slack)
+    # Capacity-contention certificate, sharpened beyond the worst case by
+    # ranking which demand is actually realisable per server (see
+    # :func:`_contended_servers`) so fewer servers are marked hot — and
+    # components stay small — at saturation.
+    contended = _contended_servers(dense, state.capacity_left, order, mask_p,
+                                   activation_coupled)
     hot = contended | activation_coupled
 
     hot_idx = np.nonzero(hot)[0]
@@ -548,6 +779,103 @@ def bool_any(exceeds_per_key: np.ndarray) -> np.ndarray:
     if exceeds_per_key.shape[-1] == 0:
         return np.zeros(exceeds_per_key.shape[:-1], dtype=bool)
     return np.any(exceeds_per_key, axis=-1)
+
+
+def _contended_servers(dense: DenseCosts, capacity_left: np.ndarray,
+                       order: np.ndarray, mask_p: np.ndarray,
+                       activation_coupled: np.ndarray) -> np.ndarray:
+    """(S,) bool — servers where this fill could flip a pending ``fits``.
+
+    The historical certificate marked a server hot whenever the *summed*
+    demand of every pending application whose candidate set includes it
+    exceeded remaining capacity — sound but maximally pessimistic: at
+    saturated epochs it marks nearly everything hot and sharding degrades
+    toward serial. Three refinements keep more servers provably safe, each
+    strictly conservative with respect to the coarse rule (at matched
+    slack):
+
+    * **Only currently-fitting demand is realisable.** ``fits`` is monotone
+      during a fill — capacity only shrinks — so an application whose fit
+      already fails on a server can *never* place there and contributes
+      nothing to the load the server can actually attract. The coarse rule
+      counted that phantom demand on every key.
+    * **Unfit interest only matters at static winners.** A free application
+      commits its static row argmin *without revalidation*, so the one case
+      a currently-failing fit can corrupt is an application whose static
+      winner is the very server it no longer fits (the serial kernel would
+      place it elsewhere). Those winners are forced hot — which routes the
+      application through a coupled bin's exact serial loop — instead of
+      hot-flagging every server any unfit application merely glances at.
+    * **Winner pinning (demand-ranked interest).** When every activation
+      cost is non-negative, an application whose static winner is provably
+      safe (non-hot under the first pass) is *pinned*: the winner fits and
+      stays fitting (non-hot), no other candidate's marginal cost — static
+      cost plus a non-negative activation term — can undercut the static
+      argmin's, and exact ties resolve to the argmin's lower index. A
+      pinned application therefore places exactly at its winner in every
+      execution, so the second pass counts its demand only there rather
+      than on every candidate it was merely interested in. One pass is
+      sound (pinning is justified against the *larger* first-pass hot set,
+      and hot sets only shrink); iterating further would be sound too but
+      rarely pays.
+
+    A note for maintainers tempted by top-``(m+1)`` ranked-prefix bounds
+    (sum of the ``m + 1`` largest fitting demands, with ``m`` the longest
+    fitting ascending prefix): the bound provably collapses onto the plain
+    fitting-sum test — if the ``m + 1`` *largest* demands fit within
+    capacity, so do the ``m + 1`` smallest, contradicting ``m``'s
+    maximality — so it can never unmark a server the sum test marks.
+    Realisable-load certificates sharper than the fitting sum require
+    subset-sum reasoning, which is not worth its planning cost here.
+
+    The slack mirrors the original certificate's reasoning: the certificate
+    compares vectorised sums against what the serial kernel computes by
+    sequential subtraction, so the relative term covers float reassociation
+    drift and the count-scaled absolute term covers the per-placement
+    ``fits`` tolerance compounding once per fitting member. Overshooting
+    slack only marks more servers hot — never unsound.
+    """
+    n_pending, n_servers = mask_p.shape
+    if capacity_left.shape[-1] == 0:
+        # No capacity dimensions: fits holds vacuously everywhere, nothing
+        # can ever be invalidated by capacity.
+        return np.zeros(n_servers, dtype=bool)
+    demand_p = dense.demand[order]                           # (P, S, K)
+    fit_now = mask_p & bool_all(demand_p <= capacity_left[None] + 1e-9)
+
+    # Static winners — the row argmin a free application would commit.
+    rows = dense.cost[order]
+    choice = np.argmin(rows, axis=1)
+    has_winner = np.isfinite(rows[np.arange(n_pending), choice])
+    unfit_winner = np.zeros(n_servers, dtype=bool)
+    bad = has_winner & ~fit_now[np.arange(n_pending), choice]
+    unfit_winner[choice[bad]] = True
+
+    fitting = np.where(fit_now[:, :, None], demand_p, 0.0)   # (P, S, K)
+    counts = fit_now.sum(axis=0)                             # (S,)
+    slack = 1e-9 * (counts[:, None] + 1) + 1e-7 * np.abs(capacity_left)
+    interest = fitting.sum(axis=0)                           # (S, K)
+    contended = bool_any(interest > capacity_left - slack)
+
+    capacity_hot = contended | unfit_winner
+    if not contended.any() or bool((dense.activation < 0.0).any()):
+        # Nothing to pin away, or adversarial negative activation costs (a
+        # cheaper-than-static marginal can then beat the static argmin, so
+        # winners are not pinnable).
+        return capacity_hot
+    hot0 = capacity_hot | activation_coupled
+    pinned = has_winner & ~hot0[choice]
+    if not pinned.any():
+        return capacity_hot
+    spread = fitting.copy()
+    spread[pinned] = 0.0
+    pinned_idx = np.flatnonzero(pinned)
+    winner_targets = choice[pinned_idx]
+    winner_demand = np.zeros_like(interest)
+    np.add.at(winner_demand, winner_targets,
+              demand_p[pinned_idx, winner_targets])
+    interest = spread.sum(axis=0) + winner_demand
+    return bool_any(interest > capacity_left - slack) | unfit_winner
 
 
 def _coupled_components(coupled_mask: np.ndarray, hot_idx: np.ndarray,
@@ -641,33 +969,33 @@ def _solve_coupled_bin(state: GreedyState, energy_j: np.ndarray,
     return apps, clone.assignment[apps]
 
 
-def _run_tasks(tasks: list, n_workers: int) -> list:
-    """Execute shard tasks on a thread pool, preserving submission order."""
-    if len(tasks) == 1:
-        return [tasks[0]()]
-    with ThreadPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
-        return list(pool.map(lambda task: task(), tasks))
-
-
 def greedy_fill_sharded(state: GreedyState, energy_j: np.ndarray, n_shards: int,
-                        min_shard_apps: int = MIN_SHARD_APPS) -> ShardPlan | None:
+                        min_shard_apps: int = MIN_SHARD_APPS,
+                        reconcile_mode: str = "auto",
+                        dispatch: str = "auto") -> ShardPlan | None:
     """Sharded greedy placement, bit-identical to :func:`greedy_fill`.
 
-    Plans shards (:func:`plan_shards`), solves them on a thread pool —
-    free-chunk argmins as one vectorised operation each, coupled component
-    bins as serial fills on state clones — and runs the shared-capacity
-    reconciliation pass: every shard placement is replayed into the shared
-    state in the serial kernel's processing order (re-validating speculative
-    winners against the capacity rows their candidates straddle, and
-    re-deriving invalidated ones with the exact serial step), so assignment,
-    ``capacity_left`` and ``served`` reproduce the serial kernel byte for
-    byte. Falls back to the serial kernel whenever the plan is missing or
+    Plans shards (:func:`plan_shards`), solves them on the persistent
+    dispatch pool (:mod:`repro.solver.dispatch`) — free-chunk argmins as one
+    vectorised operation each, coupled component bins as serial fills on
+    state clones — and runs the shared-capacity reconciliation pass: every
+    shard placement is replayed into the shared state in the serial kernel's
+    processing order, so assignment, ``capacity_left`` and ``served``
+    reproduce the serial kernel byte for byte. In component mode every
+    dispatched placement is individually certified equal to the serial
+    kernel's choice (free argmins and closed coupled bins — see the module
+    notes above), so the whole replay order is one settled wave, committed
+    with dense batched operations in processing order unless
+    ``reconcile_mode`` selects the per-application loop.
+
+    Falls back to the serial kernel whenever the plan is missing or
     degenerate — and for *speculative* plans, whose batched-argmin-plus-
     replay schedule the serial kernel's cold fast path now executes
-    identically (:func:`_greedy_fill_cold`) without paying for the pool, so
-    dispatching them would only add planning and thread overhead for the
-    same arithmetic. Component plans (live activation coupling) still
-    dispatch.
+    identically (:func:`_greedy_fill_cold`, wave replay included) without
+    paying for the pool, so dispatching them would only add planning and
+    thread overhead for the same arithmetic. Component plans (live
+    activation coupling) still dispatch, through the mode resolved by
+    :func:`repro.solver.dispatch.resolve_dispatch_mode`.
 
     Returns the plan (``None`` when none was drawn) so callers can report
     shard diagnostics — :attr:`ShardPlan.parallel_fraction` describes the
@@ -676,18 +1004,29 @@ def greedy_fill_sharded(state: GreedyState, energy_j: np.ndarray, n_shards: int,
     """
     plan = plan_shards(state, energy_j, n_shards, min_shard_apps)
     if plan is None or not plan.is_parallel or plan.mode == "speculate":
-        greedy_fill(state, energy_j)
+        greedy_fill(state, energy_j, reconcile_mode=reconcile_mode)
         return plan
     dense = state.dense
     tasks = [partial(_argmin_chunk, dense, chunk) for chunk in plan.free_chunks]
     tasks += [partial(_solve_coupled_bin, state, energy_j, apps)
               for apps in plan.bins]
     proposed = np.full(len(state.assignment), -1, dtype=int)
-    for apps, choices in _run_tasks(tasks, n_shards):
+    for apps, choices in run_tasks(tasks, mode=dispatch):
         proposed[apps] = choices
-    for i in plan.order:                            # the reconciliation pass
-        j = proposed[i]
-        if j >= 0:
+    # The reconciliation pass. Every certified placement commits verbatim
+    # (no revalidation is needed — the component/free certificates proved
+    # them equal to the serial kernel's choices), so the full replay order
+    # is one settled wave; committing it in processing order reproduces the
+    # serial kernel's per-server float subtraction sequence byte for byte.
+    order = plan.order
+    choices = proposed[order]
+    placed = choices >= 0
+    state.stats.pending += len(order)
+    if _use_wave_replay(reconcile_mode):
+        state.place_batch(order[placed], choices[placed])
+    else:
+        state.stats.serial_steps += int(placed.sum())
+        for i, j in zip(order[placed], choices[placed]):
             state.place(int(i), int(j))
     return plan
 

@@ -22,6 +22,17 @@ AUTO_MIN_EXACT_BUDGET_S: float = 1.0
 #: more than the per-application loop they replace.
 MIN_SHARD_APPS: int = 32
 
+#: Recognised reconciliation-replay modes: ``auto`` follows the wave-replay
+#: kill-switch (wave unless disabled), ``wave`` forces the wave-vectorised
+#: replay, ``serial`` forces the per-application replay loop. All three are
+#: bit-identical; the knob only selects execution.
+RECONCILE_MODES: tuple[str, ...] = ("auto", "wave", "serial")
+
+#: Recognised shard-dispatch modes: ``auto`` uses the persistent pool only on
+#: free-threaded interpreters (see :mod:`repro.solver.dispatch`), ``pool``
+#: forces the process-lifetime executor, ``serial`` runs shard tasks inline.
+DISPATCH_MODES: tuple[str, ...] = ("auto", "pool", "serial")
+
 
 @dataclass(frozen=True)
 class SolverConfig:
@@ -43,16 +54,38 @@ class SolverConfig:
     min_shard_apps:
         Serial-fallback threshold: epochs with fewer pending applications are
         solved serially regardless of ``epoch_shards``.
+    reconcile_mode:
+        How speculative winners and shard placements are replayed into the
+        shared state: ``"wave"`` commits provably-settled waves with dense
+        batched ops and drops to the exact per-application step only for the
+        conflicting tail, ``"serial"`` keeps the per-application replay loop,
+        ``"auto"`` follows the ``CARBON_EDGE_DISABLE_WAVE_REPLAY``
+        kill-switch (wave unless disabled). Bit-identical for every mode.
+    dispatch:
+        Shard-task execution: ``"pool"`` uses the persistent process-lifetime
+        executor (:mod:`repro.solver.dispatch`), ``"serial"`` runs tasks
+        inline, ``"auto"`` pools only on free-threaded interpreters where
+        coupled component bins genuinely overlap. Bit-identical for every
+        mode.
     """
 
     epoch_shards: int = 1
     min_shard_apps: int = MIN_SHARD_APPS
+    reconcile_mode: str = "auto"
+    dispatch: str = "auto"
 
     def __post_init__(self) -> None:
         if self.epoch_shards < 1:
             raise ValueError(f"epoch_shards must be >= 1, got {self.epoch_shards}")
         if self.min_shard_apps < 1:
             raise ValueError(f"min_shard_apps must be >= 1, got {self.min_shard_apps}")
+        if self.reconcile_mode not in RECONCILE_MODES:
+            raise ValueError(
+                f"reconcile_mode must be one of {RECONCILE_MODES}, "
+                f"got {self.reconcile_mode!r}")
+        if self.dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {self.dispatch!r}")
 
 
 #: Shared default configuration (serial kernel).

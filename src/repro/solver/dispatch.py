@@ -1,0 +1,141 @@
+"""Persistent shared-memory dispatch pool for intra-epoch shard tasks.
+
+The sharded greedy kernel (:func:`repro.solver.compile.greedy_fill_sharded`)
+used to construct a fresh ``ThreadPoolExecutor`` for every epoch's task list.
+At serving-loop cadence — one re-solve per arrival event — the pool churn
+(thread spawn, handshake, teardown) is measurable against sub-millisecond
+solve times, so this module keeps **one process-lifetime executor** that every
+epoch reuses. Threads share the compiled epoch tensors by reference (the
+"shared-memory" part — no pickling, no copies), and results are merged by
+application index, so execution mode can never change a solution: the
+bit-identity contract of the sharded kernel holds for every dispatch mode.
+
+**Free-threaded awareness.** On a free-threaded build (PEP 703, python3.13t+)
+the capability probe :func:`free_threading_enabled` reports that the GIL is
+off and coupled component bins — per-application Python loops that serialise
+under a GIL — genuinely overlap on the pool. On a regular GIL build the
+``"auto"`` mode falls back to inline serial execution instead: dispatching
+GIL-bound Python loops to threads buys no overlap and pays synchronisation
+overhead, and the vectorised free-chunk tasks are individually too small to
+win it back. ``"pool"`` forces the executor either way (CI byte-diffs a
+pooled fig11 run against a serial one to pin the contract).
+
+The mode is resolved per call: :data:`DISPATCH_ENV` overrides everything
+(the CI determinism jobs set it), then the caller's
+:attr:`repro.solver.config.SolverConfig.dispatch` knob, then the ``"auto"``
+rule above.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+#: Environment override for the dispatch mode: ``serial`` executes shard
+#: tasks inline, ``pool`` forces the persistent executor, ``auto`` (or unset)
+#: applies the free-threading-aware default. Used by the CI byte-diff job
+#: that pins pooled-vs-serial artifact identity.
+DISPATCH_ENV: str = "CARBON_EDGE_DISPATCH"
+
+#: Recognised dispatch modes (module-level so SolverConfig can validate
+#: without importing the executor machinery).
+DISPATCH_MODES: tuple[str, ...] = ("auto", "pool", "serial")
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_LOCK = threading.Lock()
+
+
+def free_threading_enabled() -> bool:
+    """Capability probe: is this interpreter actually running without a GIL?
+
+    True only on a free-threaded CPython build (3.13t+) with the GIL disabled
+    at runtime — ``sys._is_gil_enabled`` exists and reports False. Regular
+    builds (no probe, or probe says the GIL is on) return False.
+    """
+    probe = getattr(sys, "_is_gil_enabled", None)
+    if probe is None:
+        return False
+    try:
+        return not probe()
+    except Exception:  # pragma: no cover - defensive against probe changes
+        return False
+
+
+def _pool_width() -> int:
+    """Worker width of the process-lifetime pool (all cores, min 2)."""
+    return max(2, os.cpu_count() or 2)
+
+
+def dispatch_pool() -> ThreadPoolExecutor:
+    """The process-lifetime shard executor (created lazily, shut down at exit).
+
+    One pool per process, reused across every epoch and every solve —
+    replacing the per-call ``ThreadPoolExecutor`` the sharded kernel used to
+    construct. :func:`shutdown_dispatch_pool` (also registered with
+    ``atexit`` and called from ``repro.experiments.common.clear_caches``)
+    drops it; the next call transparently builds a fresh one.
+    """
+    global _POOL
+    pool = _POOL
+    if pool is not None:
+        return pool
+    with _POOL_LOCK:
+        if _POOL is None:
+            _POOL = ThreadPoolExecutor(
+                max_workers=_pool_width(),
+                thread_name_prefix="carbon-edge-dispatch")
+        return _POOL
+
+
+def shutdown_dispatch_pool(wait: bool = True) -> None:
+    """Shut the process-lifetime pool down (idempotent, safe mid-session).
+
+    Called by ``atexit``, by ``repro.experiments.common.clear_caches`` (so
+    long ``run --all`` sessions drop idle threads between experiments), and
+    by tests that assert pool lifecycle behaviour. Any later dispatch simply
+    re-creates the pool.
+    """
+    global _POOL
+    with _POOL_LOCK:
+        pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+atexit.register(shutdown_dispatch_pool)
+
+
+def resolve_dispatch_mode(mode: str = "auto") -> str:
+    """Resolve a dispatch knob to ``"pool"`` or ``"serial"``.
+
+    Precedence: the :data:`DISPATCH_ENV` environment override (when it names
+    a concrete mode), then an explicit ``mode``, then the ``"auto"`` rule —
+    pool only when :func:`free_threading_enabled` (coupled bins actually
+    overlap), serial otherwise.
+    """
+    env = os.environ.get(DISPATCH_ENV, "").strip().lower()
+    if env in ("pool", "serial"):
+        return env
+    if mode in ("pool", "serial"):
+        return mode
+    return "pool" if free_threading_enabled() else "serial"
+
+
+def run_tasks(tasks: Sequence[Callable], mode: str = "auto") -> list:
+    """Execute shard tasks, preserving submission order in the results.
+
+    Single-task lists always run inline (nothing to overlap). Otherwise the
+    resolved mode picks the persistent pool or the inline serial loop —
+    bit-identical results either way, because the sharded kernel merges task
+    results by application index and the tasks themselves only read shared
+    tensors and write clones.
+    """
+    if len(tasks) == 1:
+        return [tasks[0]()]
+    if resolve_dispatch_mode(mode) == "serial":
+        return [task() for task in tasks]
+    return list(dispatch_pool().map(lambda task: task(), tasks))

@@ -133,6 +133,91 @@ def test_empty_metrics_are_well_defined():
     assert artifact["counters"]["decisions"] == 0
 
 
+# -- the latency reservoirs -----------------------------------------------------
+
+
+def test_latency_reservoir_is_exact_below_capacity():
+    from repro.serving.metrics import LatencyReservoir
+
+    r = LatencyReservoir(capacity=16)
+    stream = [float(k) for k in range(10)]
+    for v in stream:
+        r.add(v)
+    assert not r.saturated
+    assert len(r) == r.n_seen == 10
+    assert r.values().tolist() == stream
+
+
+def test_latency_reservoir_caps_memory_and_stays_deterministic():
+    from repro.serving.metrics import LatencyReservoir
+
+    stream = [float(k) % 37.0 for k in range(5000)]
+    a, b = LatencyReservoir(capacity=64), LatencyReservoir(capacity=64)
+    for v in stream:
+        a.add(v)
+        b.add(v)
+    assert a.saturated and a.n_seen == 5000
+    assert len(a) == 64  # bounded memory no matter the stream length
+    # Same seed, same stream -> the identical uniform sample (and therefore
+    # identical p50/p99 in any report built on it).
+    assert a.values().tolist() == b.values().tolist()
+    # A different seed subsamples differently (the sample is seed-pinned,
+    # not accidentally order-stable).
+    c = LatencyReservoir(capacity=64, seed=1)
+    for v in stream:
+        c.add(v)
+    assert c.values().tolist() != a.values().tolist()
+    assert set(c.values().tolist()) <= set(stream)
+
+
+def test_latency_reservoir_rejects_degenerate_capacity():
+    from repro.serving.metrics import LatencyReservoir
+
+    with pytest.raises(ValueError, match="capacity"):
+        LatencyReservoir(capacity=0)
+
+
+class _StubProblem:
+    n_applications = 0
+    servers = ()
+
+
+class _StubSolution:
+    problem = _StubProblem()
+    placements = {}
+    n_placed = 0
+
+    @staticmethod
+    def total_carbon_g():
+        return 0.0
+
+
+def test_serving_metrics_percentiles_are_reservoir_backed():
+    """Long decision streams must not grow memory: percentiles read from a
+    seeded reservoir, identically across two metric sinks fed the same
+    stream, and the artifact reports the subsampling provenance."""
+    sinks = [ServingMetrics(latency_reservoir_size=32) for _ in range(2)]
+    for m in sinks:
+        for k in range(500):
+            m.record_decision("batch" if k % 3 else "resolve",
+                              time_s=float(k), hour=0,
+                              solution=_StubSolution(),
+                              latency_s=(k * 7) % 101 / 1000.0)
+        m.finish()
+    a, b = sinks
+    assert len(a.decision_latencies_s()) == 32  # capped, not 500
+    assert a.decision_latencies_s().tolist() == b.decision_latencies_s().tolist()
+    for kind in (None, "batch", "resolve"):
+        assert a.latency_percentile_ms(50.0, kind) == \
+            b.latency_percentile_ms(50.0, kind)
+        assert a.latency_percentile_ms(99.0, kind) == \
+            b.latency_percentile_ms(99.0, kind)
+    reservoir = a.to_artifact()["latency_ms"]["reservoir"]
+    assert reservoir["capacity"] == 32
+    assert reservoir["seen"] == 500
+    assert reservoir["sampled"] == 32
+
+
 # -- the CLI --------------------------------------------------------------------
 
 

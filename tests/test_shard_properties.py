@@ -301,3 +301,165 @@ def test_cold_speculative_schedule_is_bit_identical_to_naive_loop(instance):
     # float subtraction sequence exactly.
     assert np.array_equal(naive.capacity_left, auto.capacity_left)
     assert np.array_equal(naive.served, auto.served)
+
+
+# -- wave-vectorised reconciliation -------------------------------------------
+
+
+@settings(max_examples=100, **COMMON)
+@given(dense_instances())
+def test_wave_replay_bit_identical_across_modes_shards_and_dispatch(instance):
+    """The reconcile mode (wave commits vs per-application replay) and the
+    dispatch mode (persistent pool vs inline) are pure execution knobs: every
+    combination, at every shard count, must reproduce the serial
+    per-application kernel bit-for-bit — assignment, remaining capacity down
+    to float arithmetic order, and served counts."""
+    state, energy = instance
+    reference = state.clone()
+    greedy_fill(reference, energy, reconcile_mode="serial")
+
+    def check(arm):
+        assert np.array_equal(reference.assignment, arm.assignment)
+        assert np.array_equal(reference.capacity_left, arm.capacity_left)
+        assert np.array_equal(reference.served, arm.served)
+
+    wave = state.clone()
+    greedy_fill(wave, energy, reconcile_mode="wave")
+    check(wave)
+    assert 0.0 <= wave.stats.revalidation_rate <= 1.0
+
+    for n_shards in SHARD_COUNTS:
+        for reconcile_mode in ("wave", "serial"):
+            sharded = state.clone()
+            greedy_fill_sharded(sharded, energy, n_shards, min_shard_apps=1,
+                                reconcile_mode=reconcile_mode,
+                                dispatch="serial")
+            check(sharded)
+    pooled = state.clone()
+    greedy_fill_sharded(pooled, energy, 2, min_shard_apps=1,
+                        reconcile_mode="wave", dispatch="pool")
+    check(pooled)
+
+
+@settings(max_examples=100, **COMMON)
+@given(dense_instances(), st.randoms(use_true_random=False))
+def test_place_batch_replays_sequential_place_exactly(instance, rnd):
+    """A batched wave commit is arithmetically *the same program* as the
+    per-placement loop: ``np.subtract.at`` applies repeated server indices in
+    order of appearance, so remaining capacity matches bit-for-bit even when
+    a wave lands several placements on one server."""
+    state, _ = instance
+    n_apps, n_servers = state.dense.mask.shape
+    pending = [i for i in range(n_apps) if state.assignment[i] < 0]
+    rnd.shuffle(pending)
+    apps = pending[:rnd.randint(0, len(pending))]
+    servers = [rnd.randrange(n_servers) for _ in apps]
+
+    loop = state.clone()
+    for i, j in zip(apps, servers):
+        loop.place(int(i), int(j))
+    batch = state.clone()
+    batch.place_batch(np.asarray(apps, dtype=int),
+                      np.asarray(servers, dtype=int))
+    assert np.array_equal(loop.assignment, batch.assignment)
+    assert np.array_equal(loop.capacity_left, batch.capacity_left)
+    assert np.array_equal(loop.served, batch.served)
+
+
+def test_wave_replay_kill_switch_forces_per_app_replay(monkeypatch):
+    """The env kill-switch flips auto reconciliation back to the per-app
+    replay (zero wave commits) without changing any placement."""
+    from repro.solver.compile import WAVE_REPLAY_ENV
+
+    rng = np.random.default_rng(3)
+    n_apps, n_servers = 12, 4
+    dense = DenseCosts(
+        keys=["r"], demand=rng.uniform(0, 1, (n_apps, n_servers, 1)),
+        capacity=np.full((n_servers, 1), 100.0),
+        mask=np.ones((n_apps, n_servers), dtype=bool),
+        cost=rng.uniform(0, 1, (n_apps, n_servers)),
+        raw_assign=np.zeros((n_apps, n_servers)),
+        activation=np.zeros(n_servers),
+        initially_on=np.ones(n_servers, dtype=bool))
+    energy = rng.uniform(0, 1, (n_apps, n_servers))
+
+    monkeypatch.delenv(WAVE_REPLAY_ENV, raising=False)
+    waved = GreedyState(dense)
+    greedy_fill(waved, energy)
+    assert waved.stats.waves > 0
+
+    monkeypatch.setenv(WAVE_REPLAY_ENV, "1")
+    killed = GreedyState(dense)
+    greedy_fill(killed, energy)
+    assert killed.stats.waves == 0
+    assert killed.stats.serial_steps == killed.stats.pending == n_apps
+    assert np.array_equal(waved.assignment, killed.assignment)
+    assert np.array_equal(waved.capacity_left, killed.capacity_left)
+
+
+# -- contention-certificate soundness ------------------------------------------
+
+
+@settings(max_examples=150, **COMMON)
+@given(dense_instances(), st.sampled_from(SHARD_COUNTS[1:]))
+def test_no_app_marked_free_ever_fails_a_fit(instance, n_shards):
+    """Certificate soundness, checked against the naive serial walk: every
+    application the planner marks free must (a) still fit its static winner
+    at its own serial turn and (b) be placed exactly there — free chunks
+    commit the static row argmin *without revalidation*, so any violation
+    here is a silent wrong placement in component mode."""
+    from repro.solver.compile import _argmin_chunk
+
+    state, energy = instance
+    plan = plan_shards(state.clone(), energy, n_shards, min_shard_apps=1)
+    if plan is None or plan.mode != "components":
+        return
+    free = {int(i) for chunk in plan.free_chunks for i in chunk}
+    dense = state.dense
+    _, static_choice = _argmin_chunk(dense, plan.order)
+    static_of = {int(i): int(c) for i, c in zip(plan.order, static_choice)}
+
+    live = state.clone()
+    for i in (int(x) for x in plan.order):
+        feasible = dense.mask[i] & dense.fits(i, live.capacity_left)
+        if i in free and static_of[i] >= 0:
+            assert feasible[static_of[i]], \
+                "free application's static winner no longer fits at its turn"
+        if not feasible.any():
+            assert i not in free or static_of[i] < 0
+            continue
+        marginal = dense.cost[i] + dense.activation * live.would_activate()
+        marginal = np.where(feasible, marginal, np.inf)
+        j = int(np.argmin(marginal))
+        if np.isfinite(marginal[j]):
+            live.place(i, j)
+            if i in free:
+                assert j == static_of[i], \
+                    "free application placed away from its static winner"
+        elif i in free:
+            assert static_of[i] < 0
+
+
+@settings(max_examples=150, **COMMON)
+@given(dense_instances())
+def test_refined_certificate_is_conservative_vs_coarse_interest_rule(instance):
+    """Every server the refined certificate marks hot, the historical
+    sum-of-all-interested-demand rule (at matched slack) marked too — the
+    refinement only ever *unmarks* servers, never invents contention."""
+    from repro.solver.compile import _contended_servers, _pending_order, bool_any
+
+    state, energy = instance
+    dense = state.dense
+    order = np.asarray(_pending_order(state, energy), dtype=int)
+    if len(order) == 0:
+        return
+    mask_p = dense.mask[order]
+    activation_coupled = (dense.activation != 0.0) & ~dense.initially_on \
+        & (state.served == 0)
+    refined = _contended_servers(dense, state.capacity_left, order, mask_p,
+                                 activation_coupled)
+    interested = np.einsum("ps,psk->sk", mask_p.astype(float),
+                           dense.demand[order])
+    slack = 1e-9 * (len(order) + 2) + 1e-7 * np.abs(state.capacity_left)
+    coarse = bool_any(interested > state.capacity_left - slack)
+    assert not np.any(refined & ~coarse)
