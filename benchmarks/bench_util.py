@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark harness artifacts.
+
+Every benchmark appends its measurements to a repo-root JSON trajectory file
+(``BENCH_*.json``) so timing history survives across sessions. The appenders
+used to be copy-pasted per file with drifting conventions (some records
+carried a ``benchmark`` name, some not; none carried an ordering key);
+:func:`append_bench_record` is the single shared implementation. Every entry
+it writes carries the ``benchmark`` name and a monotone ``seq`` number
+(1 + the highest existing ``seq`` in the file), so consumers can name and
+order records without guessing from field shapes. Pre-existing entries are
+left exactly as they are — the PR 4 era baseline detection in
+``test_bench_cdn_pipeline`` depends on old records *not* having these fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def load_bench_history(artifact: Path) -> list:
+    """The artifact's record list (empty when missing or unparsable)."""
+    if not artifact.exists():
+        return []
+    try:
+        history = json.loads(artifact.read_text())
+    except (ValueError, OSError):
+        return []
+    return history if isinstance(history, list) else []
+
+
+def append_bench_record(artifact: Path, benchmark: str, record: dict,
+                        sort_keys: bool = False) -> dict:
+    """Append one named, sequence-numbered record to a trajectory artifact.
+
+    Parameters
+    ----------
+    artifact:
+        The ``BENCH_*.json`` file (created when missing).
+    benchmark:
+        Benchmark name stamped on the entry (callers must not put their own
+        ``benchmark`` key in ``record``).
+    record:
+        The measurement payload.
+    sort_keys:
+        Serialise with sorted keys (``BENCH_serving.json``'s convention).
+
+    Returns the appended entry (with its assigned ``seq``).
+    """
+    if "benchmark" in record or "seq" in record:
+        raise ValueError(
+            "record must not carry its own 'benchmark'/'seq' keys; "
+            "they are assigned here")
+    history = load_bench_history(artifact)
+    seq = 1 + max((int(r.get("seq", 0)) for r in history if isinstance(r, dict)),
+                  default=0)
+    entry = {"benchmark": benchmark, "seq": seq, **record}
+    history.append(entry)
+    artifact.write_text(json.dumps(history, indent=2, sort_keys=sort_keys) + "\n")
+    return entry

@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from bench_util import append_bench_record
 from repro.core.policies.carbon_edge import CarbonEdgePolicy
 from repro.core.validation import validate_solution
 from repro.experiments.fig17_scalability import _build_problem
@@ -73,15 +74,8 @@ SCENARIO_KWARGS = dict(
 CONTINENTS = ("EU",) if _SMOKE else ("US", "EU")
 
 
-def _append_trajectory(record: dict) -> None:
-    history = []
-    if ARTIFACT.exists():
-        try:
-            history = json.loads(ARTIFACT.read_text())
-        except (ValueError, OSError):
-            history = []
-    history.append(record)
-    ARTIFACT.write_text(json.dumps(history, indent=2) + "\n")
+def _append_trajectory(benchmark: str, record: dict) -> None:
+    append_bench_record(ARTIFACT, benchmark, record)
 
 
 def _pr4_baseline_s() -> float | None:
@@ -126,7 +120,7 @@ def test_bench_cdn_pipeline(bench_once):
     bench_once(run_all)
     print(f"\ncompiled pipeline: {compiled_s:.3f} s "
           f"(ceiling: {TIME_CEILING_S:.0f} s, scale: {'smoke' if _SMOKE else 'full'})")
-    _append_trajectory({
+    _append_trajectory("cdn_pipeline", {
         "scale": "smoke" if _SMOKE else "full",
         "tier": "scenario",
         "continents": list(CONTINENTS),
@@ -228,9 +222,8 @@ def test_bench_scenario_tier_speedup(bench_once):
           f"tier speedup {cold_s / delta_s:.2f}x, "
           f"vs PR4 baseline {pr4_s}: "
           f"{f'{speedup:.2f}x' if speedup else 'n/a'}")
-    _append_trajectory({
+    _append_trajectory("scenario_tier", {
         "scale": "smoke" if _SMOKE else "full",
-        "benchmark": "scenario_tier",
         "continents": list(CONTINENTS),
         "n_epochs": SCENARIO_KWARGS["n_epochs"],
         "delta_epoch_s": round(delta_s, 4),
@@ -318,9 +311,8 @@ def test_bench_kernel_schedule_speedup(bench_once):
     speedup = naive_s / max(spec_s, 1e-9)
     print(f"\ngreedy kernel (fig17-scale): naive {naive_s:.3f} s, "
           f"speculative {spec_s:.3f} s, schedule speedup {speedup:.2f}x")
-    _append_trajectory({
+    _append_trajectory("kernel_schedule", {
         "scale": "smoke" if _SMOKE else "full",
-        "benchmark": "kernel_schedule",
         "sizes": [[s, a] for s, a, _ in SHARD_BENCH_SIZES],
         "naive_kernel_s": round(naive_s, 4),
         "speculative_kernel_s": round(spec_s, 4),
@@ -423,9 +415,8 @@ def test_bench_wave_reconcile_speedup(bench_once):
           f"{EPOCH_SHARDS} shards): per-app {times['serial']:.3f} s, "
           f"wave {times['wave']:.3f} s, speedup {speedup:.2f}x, "
           f"revalidation rate {wave.stats.revalidation_rate:.3f}")
-    _append_trajectory({
+    _append_trajectory("wave_reconcile", {
         "scale": "smoke" if _SMOKE else "full",
-        "benchmark": "wave_reconcile",
         "size": [n_servers, n_apps],
         "epoch_shards": EPOCH_SHARDS,
         "per_app_replay_s": round(times["serial"], 4),

@@ -19,12 +19,12 @@ live soak that reports sustained placements/sec through the full event loop.
 from __future__ import annotations
 
 import gc
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from bench_util import append_bench_record
 from repro.core.incremental import IncrementalPlacer
 from repro.core.policies.carbon_edge import CarbonEdgePolicy
 from repro.core.problem import PlacementProblem
@@ -45,12 +45,8 @@ N_EVENTS = 16
 N_PASSES = 3
 
 
-def _record(payload: dict) -> None:
-    records = []
-    if ARTIFACT.exists():
-        records = json.loads(ARTIFACT.read_text())
-    records.append(payload)
-    ARTIFACT.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+def _record(benchmark: str, payload: dict) -> None:
+    append_bench_record(ARTIFACT, benchmark, payload, sort_keys=True)
 
 
 def _seeded_placer(scenario: CDNScenario, n_arrivals: int) -> tuple[CDNSimulator, IncrementalPlacer]:
@@ -134,8 +130,7 @@ def test_bench_warm_resolve_beats_cold_build_per_event(bench_once):
     print(f"cold build+solve p99: {cold_p99_ms:.2f} ms "
           f"(p50 {np.percentile(cold_s, 50) * 1000.0:.2f} ms)")
     print(f"speedup at p99: {cold_p99_ms / warm_p99_ms:.2f}x")
-    _record({
-        "benchmark": "warm_resolve_vs_cold_build",
+    _record("warm_resolve_vs_cold_build", {
         "timestamp": time.time(),
         "n_events": N_EVENTS,
         "warm_p99_ms": warm_p99_ms,
@@ -165,8 +160,7 @@ def test_bench_live_soak_throughput(bench_once):
           f"({metrics.placements_per_s():.0f} placements/s)")
     print(f"decision latency p50 {metrics.latency_percentile_ms(50.0):.2f} ms, "
           f"p99 {metrics.latency_percentile_ms(99.0):.2f} ms")
-    _record({
-        "benchmark": "live_soak",
+    _record("live_soak", {
         "timestamp": time.time(),
         "events": metrics.n_events,
         "placements": metrics.total_placed(),

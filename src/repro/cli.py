@@ -162,6 +162,18 @@ def build_carbon_edge_parser() -> argparse.ArgumentParser:
                               "are bit-identical for any value, epochs below the "
                               "shard-size threshold fall back to serial; "
                               "default: 1)")
+    run_cmd.add_argument("--hierarchy-regions", type=int, default=None, metavar="N",
+                         help="route placement through the cluster-then-refine "
+                              "hierarchy with N geographic regions in every "
+                              "experiment that takes a hierarchy_regions "
+                              "parameter; unlike --epoch-shards this is a "
+                              "recorded experiment parameter (it changes "
+                              "placements; the coarse/refine gap is recorded)")
+    run_cmd.add_argument("--merge", default="memory", choices=("memory", "stream"),
+                         help="artifact merge strategy: 'memory' holds every "
+                              "unit fragment, 'stream' spools fragments to a "
+                              "spill directory and folds them one at a time; "
+                              "artifacts are byte-identical (default: memory)")
     run_cmd.add_argument("--seed", type=int, default=None,
                          help="override the seed of every experiment that takes one")
     run_cmd.add_argument("--output-dir", default="artifacts", metavar="DIR",
@@ -255,9 +267,18 @@ def _experiments_run(args: argparse.Namespace, parser: argparse.ArgumentParser) 
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.epoch_shards < 1:
         parser.error(f"--epoch-shards must be >= 1, got {args.epoch_shards}")
+    if args.hierarchy_regions is not None and args.hierarchy_regions < 1:
+        parser.error(f"--hierarchy-regions must be >= 1, got {args.hierarchy_regions}")
 
+    overrides = None
+    if args.hierarchy_regions is not None:
+        # A recorded override, not an execution knob: the hierarchy changes
+        # placements, so it must appear in the artifact params (specs that do
+        # not take a hierarchy_regions parameter ignore it).
+        overrides = {"hierarchy_regions": args.hierarchy_regions}
     runner = ScenarioRunner(workers=args.workers, smoke=args.smoke, seed=args.seed,
-                            epoch_shards=args.epoch_shards)
+                            overrides=overrides, epoch_shards=args.epoch_shards,
+                            merge=args.merge)
     start = time.perf_counter()
     results = runner.run(names)
     elapsed = time.perf_counter() - start
@@ -282,6 +303,8 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
 
     if args.epoch_shards < 1:
         parser.error(f"--epoch-shards must be >= 1, got {args.epoch_shards}")
+    if args.max_sites < 2:
+        parser.error(f"--max-sites must be >= 2, got {args.max_sites}")
     if args.duration_s <= 0:
         parser.error(f"--duration-s must be positive, got {args.duration_s}")
     seed = args.seed if args.seed is not None else EXPERIMENT_SEED

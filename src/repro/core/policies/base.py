@@ -17,6 +17,7 @@ import inspect
 import time
 from abc import ABC, abstractmethod
 
+from repro.core.objective import ObjectiveKind
 from repro.core.problem import PlacementProblem
 from repro.core.solution import PlacementSolution
 from repro.solver.config import SolverConfig
@@ -31,11 +32,24 @@ class PlacementPolicy(ABC):
     def solver_config(self) -> SolverConfig:
         """Execution configuration forwarded to the solver registry.
 
-        Reads the policy's ``epoch_shards`` field when it declares one
-        (:class:`SolverConfig` validates it), so every solver-backed policy
-        shares one plumbing path for execution knobs.
+        Reads the policy's ``epoch_shards`` / ``hierarchy_regions`` /
+        ``refine_backend`` fields when it declares them (:class:`SolverConfig`
+        validates them), so every solver-backed policy shares one plumbing
+        path for execution knobs. The hierarchy knobs select the
+        cluster-then-refine tier (:mod:`repro.solver.hierarchy`) — see the
+        carve-out on :class:`SolverConfig`: unlike the other knobs they
+        change which answer comes back.
         """
-        return SolverConfig(epoch_shards=getattr(self, "epoch_shards", 1))
+        return SolverConfig(
+            epoch_shards=getattr(self, "epoch_shards", 1),
+            hierarchy_regions=getattr(self, "hierarchy_regions", 1),
+            refine_backend=getattr(self, "refine_backend", "greedy"),
+        )
+
+    @property
+    def objective_kind(self) -> ObjectiveKind:
+        """Objective this policy minimises (drives the hierarchical tier)."""
+        return ObjectiveKind.CARBON
 
     @abstractmethod
     def place(self, problem: PlacementProblem,

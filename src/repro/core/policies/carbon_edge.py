@@ -69,6 +69,11 @@ class CarbonEdgePolicy(PlacementPolicy):
     epoch_shards:
         Intra-epoch shards for the dense greedy kernel (bit-identical
         solutions for every value; see :mod:`repro.solver.compile`).
+    hierarchy_regions / refine_backend:
+        Cluster-then-refine hierarchy knobs (:mod:`repro.solver.hierarchy`);
+        ``hierarchy_regions=1`` keeps the flat solve. Unlike ``epoch_shards``
+        these change which answer comes back (see the
+        :class:`~repro.solver.config.SolverConfig` carve-out).
     """
 
     alpha: float = 0.0
@@ -77,6 +82,8 @@ class CarbonEdgePolicy(PlacementPolicy):
     max_nodes: int = 200
     time_limit_s: float = 30.0
     epoch_shards: int = 1
+    hierarchy_regions: int = 1
+    refine_backend: str = "greedy"
     name: str = "CarbonEdge"
 
     def __post_init__(self) -> None:

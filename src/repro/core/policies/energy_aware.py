@@ -27,10 +27,16 @@ class EnergyAwarePolicy(PlacementPolicy):
     max_nodes: int = 100
     time_limit_s: float = 15.0
     epoch_shards: int = 1
+    hierarchy_regions: int = 1
+    refine_backend: str = "greedy"
     name: str = "Energy-aware"
 
     def __post_init__(self) -> None:
         validate_solver_name(self.solver)
+
+    @property
+    def objective_kind(self) -> ObjectiveKind:
+        return ObjectiveKind.ENERGY
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:

@@ -26,7 +26,13 @@ class IntensityAwarePolicy(PlacementPolicy):
     """Assign each application to the feasible server with the lowest carbon intensity."""
 
     epoch_shards: int = 1
+    hierarchy_regions: int = 1
+    refine_backend: str = "greedy"
     name: str = "Intensity-aware"
+
+    @property
+    def objective_kind(self) -> ObjectiveKind:
+        return ObjectiveKind.INTENSITY
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:

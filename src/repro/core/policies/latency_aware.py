@@ -27,7 +27,13 @@ class LatencyAwarePolicy(PlacementPolicy):
     """Assign each application to the lowest-latency server with capacity."""
 
     epoch_shards: int = 1
+    hierarchy_regions: int = 1
+    refine_backend: str = "greedy"
     name: str = "Latency-aware"
+
+    @property
+    def objective_kind(self) -> ObjectiveKind:
+        return ObjectiveKind.LATENCY
 
     def place(self, problem: PlacementProblem,
               warm_start: dict[str, int] | None = None) -> PlacementSolution:

@@ -11,6 +11,7 @@ MILP builder never re-derive them.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -26,6 +27,40 @@ from repro.workloads.profiles import get_profile
 
 #: Large latency assigned to (application, server) pairs with no usable profile.
 INFEASIBLE_LATENCY_MS: float = 1e9
+
+#: Default budget on flat ``n_applications × n_servers`` dense cells. Every
+#: flat build materialises several float64 tensors of that shape (latency,
+#: energy, demand×K, …), so 1.5e8 cells ≈ a few GiB resident — beyond it the
+#: flat path is refused and the hierarchical tier is the supported route.
+#: Override with ``CARBON_EDGE_MAX_DENSE_CELLS``.
+DEFAULT_MAX_DENSE_CELLS: int = 150_000_000
+
+
+def max_dense_cells() -> int:
+    """Configured budget on flat dense cells (``CARBON_EDGE_MAX_DENSE_CELLS``)."""
+    raw = os.environ.get("CARBON_EDGE_MAX_DENSE_CELLS", "")
+    return int(raw) if raw else DEFAULT_MAX_DENSE_CELLS
+
+
+def ensure_dense_cell_budget(n_applications: int, n_servers: int,
+                             context: str = "flat placement build") -> None:
+    """Refuse flat dense-tensor builds past the configured cell budget.
+
+    The refusal names the escape hatches: the hierarchical solver tier
+    (``SolverConfig(hierarchy_regions=...)`` / ``--hierarchy-regions``), which
+    keeps peak tensors bounded by the largest region, or raising the budget
+    via ``CARBON_EDGE_MAX_DENSE_CELLS`` on a box with the memory to match.
+    """
+    budget = max_dense_cells()
+    cells = int(n_applications) * int(n_servers)
+    if cells > budget:
+        raise ValueError(
+            f"{context}: {n_applications} applications x {n_servers} servers = "
+            f"{cells} dense cells exceeds the CARBON_EDGE_MAX_DENSE_CELLS budget "
+            f"of {budget}. Use the hierarchical solver tier instead — "
+            f"SolverConfig(hierarchy_regions=N) / carbon-edge experiments run "
+            f"--hierarchy-regions N — or raise CARBON_EDGE_MAX_DENSE_CELLS if "
+            f"this box really has the memory for flat tensors at this scale.")
 
 #: Shared empty demand for (application, server) pairs without a profile.
 _EMPTY_DEMAND = ResourceVector()
@@ -351,6 +386,7 @@ class PlacementProblem:
             return substrate.build_problem(applications, hour=hour,
                                            horizon_hours=horizon_hours,
                                            use_forecast=use_forecast)
+        ensure_dense_cell_budget(a, s, context="PlacementProblem.build")
 
         # Latency: one site-index gather instead of A x S matrix lookups.
         app_rows = [latency.index_of(app.source_site) for app in applications]

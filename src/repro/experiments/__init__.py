@@ -29,6 +29,7 @@ from repro.experiments import (  # noqa: F401
     fig16_tradeoff,
     fig17_scalability,
     serving_soak,
+    planetary_sweep,
 )
 
 __all__ = [
@@ -53,4 +54,5 @@ __all__ = [
     "fig16_tradeoff",
     "fig17_scalability",
     "serving_soak",
+    "planetary_sweep",
 ]

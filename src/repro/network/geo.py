@@ -1,17 +1,39 @@
 """Geodesic helpers: haversine distances and bounding boxes.
 
 All distances are great-circle (haversine) kilometres. The helpers are
-vectorised: :func:`pairwise_distances_km` computes the full N×N matrix in one
-NumPy broadcast rather than a Python double loop, which matters for the
-496-site CDN analysis.
+vectorised: :func:`pairwise_distances_km` computes the full N×N matrix in NumPy
+broadcasts rather than a Python double loop, which matters for the 496-site CDN
+analysis. For planetary-scale footprints (10k+ sites) the broadcast temporaries
+of a single full evaluation (five N×N float64 intermediates) dominate peak
+memory, so the matrix is evaluated in row blocks: each block runs the exact
+same elementwise expressions over a row slice, which is byte-identical to the
+single-shot broadcast because every operation is elementwise in the row
+dimension.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
 #: Mean Earth radius in kilometres.
 EARTH_RADIUS_KM: float = 6371.0088
+
+#: Default row-block height for chunked pairwise evaluation. At 4096 rows the
+#: largest transient is ~4096×N float64 — ~330 MB at N=10k instead of ~4 GB
+#: per temporary for the full broadcast. Override per call via ``chunk_rows``
+#: or process-wide via ``CARBON_EDGE_GEO_CHUNK_ROWS``.
+DEFAULT_CHUNK_ROWS: int = 4096
+
+
+def _resolved_chunk_rows(chunk_rows: int | None) -> int:
+    if chunk_rows is None:
+        raw = os.environ.get("CARBON_EDGE_GEO_CHUNK_ROWS", "")
+        chunk_rows = int(raw) if raw else DEFAULT_CHUNK_ROWS
+    if chunk_rows <= 0:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    return chunk_rows
 
 
 def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
@@ -23,7 +45,20 @@ def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
     return float(2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(a)))
 
 
-def pairwise_distances_km(coords: np.ndarray, coords_b: np.ndarray | None = None) -> np.ndarray:
+def _haversine_block(a_block: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Haversine distances of one radian-coordinate row block against all of ``b``."""
+    lat1 = a_block[:, 0][:, None]
+    lon1 = a_block[:, 1][:, None]
+    lat2 = b[:, 0][None, :]
+    lon2 = b[:, 1][None, :]
+    dphi = lat2 - lat1
+    dlmb = lon2 - lon1
+    s = np.sin(dphi / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlmb / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(s, 0.0, 1.0)))
+
+
+def pairwise_distances_km(coords: np.ndarray, coords_b: np.ndarray | None = None,
+                          chunk_rows: int | None = None) -> np.ndarray:
     """Pairwise haversine distances between coordinate sets.
 
     Parameters
@@ -33,6 +68,11 @@ def pairwise_distances_km(coords: np.ndarray, coords_b: np.ndarray | None = None
     coords_b:
         Optional (M, 2) array; when omitted the function returns the symmetric
         N×N matrix of ``coords`` against itself.
+    chunk_rows:
+        Row-block height for the chunked evaluation. Defaults to
+        ``CARBON_EDGE_GEO_CHUNK_ROWS`` or :data:`DEFAULT_CHUNK_ROWS`. Results
+        are byte-identical for every block height: each block evaluates the
+        same elementwise expressions over its row slice.
 
     Returns
     -------
@@ -43,14 +83,15 @@ def pairwise_distances_km(coords: np.ndarray, coords_b: np.ndarray | None = None
     b = a if coords_b is None else np.radians(np.atleast_2d(np.asarray(coords_b, dtype=float)))
     if a.shape[1] != 2 or b.shape[1] != 2:
         raise ValueError("coordinate arrays must have shape (N, 2) of [lat, lon]")
-    lat1 = a[:, 0][:, None]
-    lon1 = a[:, 1][:, None]
-    lat2 = b[:, 0][None, :]
-    lon2 = b[:, 1][None, :]
-    dphi = lat2 - lat1
-    dlmb = lon2 - lon1
-    s = np.sin(dphi / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlmb / 2.0) ** 2
-    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(np.clip(s, 0.0, 1.0)))
+    chunk = _resolved_chunk_rows(chunk_rows)
+    n = a.shape[0]
+    if n <= chunk:
+        return _haversine_block(a, b)
+    out = np.empty((n, b.shape[0]), dtype=float)
+    for start in range(0, n, chunk):
+        stop = min(start + chunk, n)
+        out[start:stop] = _haversine_block(a[start:stop], b)
+    return out
 
 
 def bounding_box(coords: np.ndarray) -> dict[str, float]:

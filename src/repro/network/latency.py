@@ -173,3 +173,45 @@ def build_latency_matrix(
                                    pair_key=(names[i], names[j]))
             matrix[i, j] = matrix[j, i] = lat
     return LatencyMatrix(names=names, matrix_ms=matrix)
+
+
+def build_latency_matrix_fast(
+    names: Sequence[str],
+    coords: np.ndarray,
+    countries: Sequence[str] | None = None,
+    model: LatencyModel | None = None,
+) -> LatencyMatrix:
+    """Vectorised latency matrix with midpoint routing inflation.
+
+    :func:`build_latency_matrix` draws a deterministic per-pair inflation
+    factor from a named RNG substream — a Python loop over all pairs, which is
+    minutes of interpreter time at planetary footprints (10k sites = 5·10^7
+    pairs). This builder instead applies each pair class's *midpoint*
+    inflation (``model.routing_inflation(cross, pair_key=None)``) uniformly,
+    which vectorises to a handful of array ops over the chunked distance
+    matrix. The midpoint model is the documented ``pair_key=None`` semantics
+    of :meth:`LatencyModel.routing_inflation` — same mean, no per-pair jitter
+    — so the two builders agree in expectation but not per entry; planetary
+    specs use this one and say so.
+    """
+    model = model or LatencyModel()
+    names = list(names)
+    n = len(names)
+    coords = np.asarray(coords, dtype=float)
+    if coords.shape != (n, 2):
+        raise ValueError(f"coords must have shape ({n}, 2), got {coords.shape}")
+    distances = pairwise_distances_km(coords)
+    intra = model.routing_inflation(cross_border=False)
+    inter = model.routing_inflation(cross_border=True)
+    if countries is not None:
+        labels = np.asarray(list(countries), dtype=object)
+        if labels.shape != (n,):
+            raise ValueError(f"countries must have length {n}, got {labels.shape}")
+        inflation = np.where(labels[:, None] != labels[None, :], inter, intra)
+    else:
+        inflation = intra
+    matrix = np.where(distances > 0,
+                      model.base_ms + distances / FIBER_KM_PER_MS * inflation,
+                      0.0)
+    np.fill_diagonal(matrix, 0.0)
+    return LatencyMatrix(names=names, matrix_ms=matrix)

@@ -47,6 +47,17 @@ class CDNScenario:
         solved on a worker pool. Solutions — and therefore every simulation
         artifact — are bit-identical for any value (see
         :mod:`repro.solver.compile`); ``1`` keeps the serial kernel.
+    hierarchy_regions:
+        Number of geographic regions for the cluster-then-refine solver tier
+        (:mod:`repro.solver.hierarchy`). ``1`` keeps the flat solve; higher
+        values cluster the fleet, solve a coarse apps×regions pass, and
+        refine per region. Unlike ``epoch_shards`` this knob *changes the
+        answer* (the coarse/refine gap is recorded, never hidden), but for a
+        fixed value the artifacts stay byte-stable across worker counts and
+        dispatch modes.
+    refine_backend:
+        Registry backend used for each region's refinement sub-solve when
+        ``hierarchy_regions > 1``.
     seed:
         Root seed for arrivals and trace generation.
     """
@@ -65,6 +76,8 @@ class CDNScenario:
     max_sites: int | None = None
     solver: str = "greedy"
     epoch_shards: int = 1
+    hierarchy_regions: int = 1
+    refine_backend: str = "greedy"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -86,6 +99,13 @@ class CDNScenario:
             raise ValueError("max_sites must be at least 2")
         if self.epoch_shards < 1:
             raise ValueError(f"epoch_shards must be >= 1, got {self.epoch_shards}")
+        if self.hierarchy_regions < 1:
+            raise ValueError(
+                f"hierarchy_regions must be >= 1, got {self.hierarchy_regions}")
+        if not self.refine_backend or not isinstance(self.refine_backend, str):
+            raise ValueError(
+                f"refine_backend must be a non-empty backend name, "
+                f"got {self.refine_backend!r}")
 
     @property
     def hours_per_epoch(self) -> int:

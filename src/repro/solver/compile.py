@@ -88,6 +88,7 @@ from repro.core.problem import (
     PlacementProblem,
     _demand_for,
     _resolve_profile,
+    ensure_dense_cell_budget,
 )
 from repro.cluster.resources import ResourceVector
 from repro.core.solution import PlacementSolution
@@ -1372,6 +1373,8 @@ class ScenarioCompilation:
         self._dense_rows: dict[tuple, np.ndarray] = {}
         self._fits_rows: dict[tuple, np.ndarray] = {}
         self._epoch_memo: OrderedDict[tuple, EpochCompilation] = OrderedDict()
+        #: Region-restricted child compilations (see :meth:`region_slice`).
+        self._region_memo: dict[tuple, "ScenarioCompilation"] = {}
         #: Bumped whenever the class table is dropped wholesale, so deltas
         #: built against an older table are detected and re-derived.
         self._class_generation: int = 0
@@ -1388,6 +1391,31 @@ class ScenarioCompilation:
             return False
         return len(servers) == len(self.servers) and \
             all(a is b for a, b in zip(servers, self.servers))
+
+    # -- region slicing (the hierarchical tier's memory bound) -------------------
+
+    def region_slice(self, cols: Sequence[int]) -> "ScenarioCompilation":
+        """Child compilation restricted to a subset of server columns.
+
+        The hierarchical tier (:mod:`repro.solver.hierarchy`) solves each
+        region's refinement sub-problem against one of these views: the child
+        compiles class rows over only the region's servers, so peak resident
+        tensor memory during refinement is bounded by the largest region
+        rather than the fleet. Children share the parent's latency matrix and
+        carbon service objects (gathers index the same arrays; nothing is
+        copied per region beyond the class rows the region actually uses) and
+        are memoised per column set, so every epoch of a scenario reuses one
+        child per region.
+        """
+        key = tuple(int(j) for j in cols)
+        child = self._region_memo.get(key)
+        if child is None:
+            if not key:
+                raise ValueError("region_slice requires at least one server column")
+            child = ScenarioCompilation([self.servers[j] for j in key],
+                                        self.latency, self.carbon)
+            self._region_memo[key] = child
+        return child
 
     # -- static row builders (each mirrors one cold-build expression) ------------
 
@@ -1619,6 +1647,8 @@ class ScenarioCompilation:
 
     def _assemble_problem(self, delta: EpochDelta) -> PlacementProblem:
         """Gather one epoch's problem tensors from the class rows."""
+        ensure_dense_cell_budget(len(delta.applications), len(self.servers),
+                                 context="ScenarioCompilation epoch assembly")
         idx = delta.class_indices
         class_keys = [self._class_keys[k] for k in idx]
         latency_ms = np.stack([self._lat_rows[k] for k in idx])

@@ -43,6 +43,18 @@ class SolverConfig:
     and warm starts — the knobs that select *which* solution comes back —
     live on :class:`~repro.solver.backend.SolveRequest` instead.
 
+    One documented carve-out: the *hierarchy* knobs (``hierarchy_regions``,
+    ``refine_backend``) select a different solver tier — the cluster-then-
+    refine hierarchy of :mod:`repro.solver.hierarchy` — which deliberately
+    trades optimality for memory/scale and therefore *does* change the answer
+    versus the flat solve. Within a fixed hierarchy configuration the usual
+    contract holds: worker counts, dispatch modes, and region dispatch order
+    never change the answer, and the coarse/refine objective gap versus flat
+    is recorded, never hidden. Backends themselves never see these knobs: the
+    hierarchy tier consumes them above the backend layer and hands each
+    region's restricted sub-problem to the registry with
+    ``hierarchy_regions=1``.
+
     Parameters
     ----------
     epoch_shards:
@@ -67,12 +79,23 @@ class SolverConfig:
         inline, ``"auto"`` pools only on free-threaded interpreters where
         coupled component bins genuinely overlap. Bit-identical for every
         mode.
+    hierarchy_regions:
+        Number of geographic regions for the cluster-then-refine hierarchy
+        (:mod:`repro.solver.hierarchy`). ``1`` keeps the flat solve; higher
+        values cluster the fleet into that many regions, run a coarse
+        apps×regions pass, and refine each region independently. See the
+        carve-out above: this knob changes *which* answer comes back.
+    refine_backend:
+        Registry backend name used for each region's refinement sub-solve
+        when ``hierarchy_regions > 1`` (e.g. ``"greedy"``, ``"auto"``).
     """
 
     epoch_shards: int = 1
     min_shard_apps: int = MIN_SHARD_APPS
     reconcile_mode: str = "auto"
     dispatch: str = "auto"
+    hierarchy_regions: int = 1
+    refine_backend: str = "greedy"
 
     def __post_init__(self) -> None:
         if self.epoch_shards < 1:
@@ -86,6 +109,13 @@ class SolverConfig:
         if self.dispatch not in DISPATCH_MODES:
             raise ValueError(
                 f"dispatch must be one of {DISPATCH_MODES}, got {self.dispatch!r}")
+        if self.hierarchy_regions < 1:
+            raise ValueError(
+                f"hierarchy_regions must be >= 1, got {self.hierarchy_regions}")
+        if not self.refine_backend or not isinstance(self.refine_backend, str):
+            raise ValueError(
+                f"refine_backend must be a non-empty backend name, "
+                f"got {self.refine_backend!r}")
 
 
 #: Shared default configuration (serial kernel).

@@ -99,3 +99,47 @@ def test_quickstart_subcommand_places_applications(capsys):
     out = capsys.readouterr().out
     assert "CarbonEdge placement" in out
     assert "savings" in out
+
+
+@pytest.mark.parametrize("argv", [
+    ["experiments", "run", "fig07", "--hierarchy-regions", "0"],
+    ["experiments", "run", "fig07", "--hierarchy-regions", "-3"],
+    ["experiments", "run", "fig07", "--merge", "mmap"],
+    ["serve", "--max-sites", "1", "--smoke"],
+    ["serve", "--max-sites", "0", "--smoke"],
+])
+def test_hierarchy_merge_and_serve_flag_validation(argv, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        carbon_edge_main(argv)
+    assert excinfo.value.code != 0
+
+
+def test_max_sites_error_names_the_flag(capsys):
+    with pytest.raises(SystemExit):
+        carbon_edge_main(["serve", "--max-sites", "1"])
+    assert "--max-sites" in capsys.readouterr().err
+
+
+def test_hierarchy_regions_is_a_recorded_override(tmp_path):
+    """--hierarchy-regions reaches specs that take the parameter and is
+    recorded in the artifact params (unlike the execution-only knobs)."""
+    rc = carbon_edge_main(["experiments", "run", "planetary_sweep", "--smoke",
+                           "--hierarchy-regions", "2",
+                           "--output-dir", str(tmp_path)])
+    assert rc == 0
+    payload = json.loads((tmp_path / "planetary_sweep.json").read_text())
+    assert payload["params"]["hierarchy_regions"] == 2
+    assert set(payload["artifact"]["sweep"]) == {"2"}
+
+
+def test_stream_merge_cli_writes_identical_artifacts(tmp_path):
+    rc = carbon_edge_main(["experiments", "run", "fig07", "--smoke",
+                           "--merge", "stream",
+                           "--output-dir", str(tmp_path / "stream")])
+    assert rc == 0
+    rc = carbon_edge_main(["experiments", "run", "fig07", "--smoke",
+                           "--output-dir", str(tmp_path / "memory")])
+    assert rc == 0
+    streamed = (tmp_path / "stream" / "fig07.json").read_bytes()
+    in_memory = (tmp_path / "memory" / "fig07.json").read_bytes()
+    assert streamed == in_memory

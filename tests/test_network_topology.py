@@ -1,8 +1,9 @@
 """Site-topology tests."""
 
+import numpy as np
 import pytest
 
-from repro.network.topology import build_site_topology
+from repro.network.topology import SiteTopology, build_site_topology
 
 
 def test_topology_is_complete_graph(central_eu_latency):
@@ -48,3 +49,68 @@ def test_missing_edge_and_site_raise(central_eu_latency):
         topology.latency_ms("Bern", "Munich")
     with pytest.raises(KeyError):
         topology.neighbors_within("Atlantis", 10.0)
+
+
+# --------------------------------------------------------------------------
+# Property tests: the vectorised mask operations vs a naive edge-loop
+# reference on random topologies
+# --------------------------------------------------------------------------
+
+def _random_topology(seed: int, n: int = 24) -> SiteTopology:
+    rng = np.random.default_rng(seed)
+    matrix = rng.uniform(1.0, 30.0, size=(n, n))
+    matrix = np.triu(matrix, k=1)
+    matrix = matrix + matrix.T
+    adjacency = rng.random((n, n)) < 0.15
+    adjacency = np.triu(adjacency, k=1)
+    adjacency = adjacency | adjacency.T
+    return SiteTopology(names=[f"site-{i:02d}" for i in range(n)],
+                        matrix_ms=matrix, adjacency=adjacency)
+
+
+def _naive_components(topology: SiteTopology) -> list[set[str]]:
+    """Edge-loop reference: the pre-vectorisation per-pair implementation."""
+    import networkx as nx
+
+    g = nx.Graph()
+    g.add_nodes_from(topology.names)
+    n = len(topology.names)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if topology.adjacency[i, j]:
+                g.add_edge(topology.names[i], topology.names[j])
+    # Same ordering contract as the vectorised walk: by lowest member index.
+    index = {name: k for k, name in enumerate(topology.names)}
+    return sorted((set(c) for c in nx.connected_components(g)),
+                  key=lambda c: min(index[name] for name in c))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_connected_components_match_naive_reference(seed):
+    topology = _random_topology(seed)
+    assert topology.connected_components() == _naive_components(topology)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_restricted_matches_naive_edge_filter(seed):
+    topology = _random_topology(seed)
+    bound = float(np.median(topology.matrix_ms))
+    restricted = topology.restricted(bound)
+    n = len(topology.names)
+    for i in range(n):
+        for j in range(n):
+            expected = bool(topology.adjacency[i, j]
+                            and topology.matrix_ms[i, j] <= bound)
+            assert bool(restricted.adjacency[i, j]) == expected
+    # Components of the restriction also agree with the reference.
+    assert restricted.connected_components() == _naive_components(restricted)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_component_partition_properties(seed):
+    topology = _random_topology(seed, n=32)
+    components = topology.connected_components()
+    flat = [name for c in components for name in c]
+    assert sorted(flat) == sorted(topology.names)  # partition: no dup, no loss
+    assert len(flat) == len(set(flat))
+    assert topology.is_connected() == (len(components) == 1)
