@@ -9,9 +9,12 @@ instances (where the exact solve is cheap enough to verify against).
 
 import time
 
+import pytest
+
 from repro.core.validation import validate_solution
 from repro.experiments.fig17_scalability import _build_problem, compare_backends
 from repro.solver import solve
+from repro.solver.backends.ortools_exact import ortools_available
 
 
 #: Minimum exact-over-heuristic speedup asserted per instance size. At
@@ -70,3 +73,37 @@ def test_bench_heuristic_within_5pct_on_small_instances(bench_once):
               f"gap {gap * 100:+.2f}%")
         # Acceptance: objective within 5% of the exact solve on small instances.
         assert row["heuristic_g"] <= row["exact_g"] * 1.05 + 1e-9, row
+
+
+@pytest.mark.skipif(not ortools_available(),
+                    reason="optional ortools dependency not installed "
+                           "(pip install .[exact])")
+def test_bench_anytime_exact_tier_matches_bnb(bench_once):
+    """With OR-Tools installed, cpsat/milp reach the bnb objective on small
+    instances while recording a finite proven bound (anytime contract)."""
+
+    def run_exact_tier():
+        out = []
+        for backend in ("cpsat", "milp"):
+            problem = _build_problem(40, 20, seed=7)
+            reference = solve(problem, backend="bnb")
+            start = time.monotonic()
+            exact = solve(problem, backend=backend, time_budget_s=30.0)
+            elapsed = time.monotonic() - start
+            validate_solution(exact)
+            assert exact.backend_name == backend, exact.backend_name
+            out.append({"backend": backend, "time_s": elapsed,
+                        "carbon_g": exact.total_carbon_g(),
+                        "bnb_g": reference.total_carbon_g(),
+                        "bound": exact.solver_bound,
+                        "status": exact.solver_params.get("status")})
+        return out
+
+    rows = bench_once(run_exact_tier)
+    print("\nAnytime exact tier vs bnb (40 servers, 20 apps):")
+    for row in rows:
+        print(f"  {row['backend']:6s} {row['time_s']:8.4f} s  "
+              f"{row['carbon_g']:12.2f} g (bnb {row['bnb_g']:12.2f} g)  "
+              f"bound {row['bound']:.4f}  {row['status']}")
+        assert row["carbon_g"] <= row["bnb_g"] * 1.001 + 1e-9, row
+        assert row["bound"] == row["bound"], row  # finite, not NaN

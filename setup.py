@@ -34,6 +34,10 @@ setup(
     ],
     extras_require={
         "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        # The anytime exact solver tier (cpsat / milp backends). Optional:
+        # without it those backends degrade to the heuristic with a
+        # structured OrToolsUnavailableWarning.
+        "exact": ["ortools>=9.5"],
     },
     entry_points={
         "console_scripts": [

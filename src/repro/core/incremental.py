@@ -20,6 +20,7 @@ instances and applies the returned solutions to the fleet.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 from repro.carbon.service import CarbonIntensityService
@@ -36,6 +37,13 @@ from repro.workloads.application import Application
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->solver cycle
     from repro.solver.compile import EpochCompilation, ScenarioCompilation
+
+logger = logging.getLogger(__name__)
+
+#: Failure types an epoch re-solve is *expected* to raise (problem assembly
+#: and solution validation report through these); anything else is logged as
+#: unexpected before the fleet state is restored and the error re-raised.
+EXPECTED_RESOLVE_ERRORS: tuple[type[BaseException], ...] = (ValueError, KeyError)
 
 
 @dataclass
@@ -178,9 +186,19 @@ class IncrementalPlacer:
             solution = self.policy.timed_place(problem, warm_start=warm_start)
             if self.validate:
                 validate_solution(solution, strict=True)
-        except Exception:
-            # Restore the released allocations so a failed re-solve leaves the
-            # fleet exactly as it was (matching deployments and bindings).
+        except BaseException as exc:
+            # Expected failures (infeasible problems, validation errors)
+            # surface as-is; anything else is logged first so an unexpected
+            # solver bug is never silently indistinguishable from a routine
+            # validation failure. Either way the released allocations are
+            # restored so a failed re-solve leaves the fleet exactly as it
+            # was (matching deployments and bindings), and the error always
+            # propagates to the caller.
+            if not isinstance(exc, EXPECTED_RESOLVE_ERRORS):
+                logger.exception(
+                    "unexpected %s during epoch re-solve at hour %d "
+                    "(policy %s, %d applications); fleet state restored",
+                    type(exc).__name__, hour, self.policy.name, len(apps))
             for app_id, server_id in current.items():
                 self.fleet.server(server_id).allocate(app_id, freed[app_id])
             raise

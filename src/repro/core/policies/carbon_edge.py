@@ -74,6 +74,11 @@ class CarbonEdgePolicy(PlacementPolicy):
         ``hierarchy_regions=1`` keeps the flat solve. Unlike ``epoch_shards``
         these change which answer comes back (see the
         :class:`~repro.solver.config.SolverConfig` carve-out).
+    num_search_workers:
+        Parallel search workers for the anytime exact backends
+        (``cpsat``/``milp``); ignored by the heuristic family. Under a finite
+        time budget this can change which incumbent is returned (see the
+        :class:`~repro.solver.config.SolverConfig` carve-out).
     """
 
     alpha: float = 0.0
@@ -84,6 +89,7 @@ class CarbonEdgePolicy(PlacementPolicy):
     epoch_shards: int = 1
     hierarchy_regions: int = 1
     refine_backend: str = "greedy"
+    num_search_workers: int = 1
     name: str = "CarbonEdge"
 
     def __post_init__(self) -> None:

@@ -29,6 +29,7 @@ class EnergyAwarePolicy(PlacementPolicy):
     epoch_shards: int = 1
     hierarchy_regions: int = 1
     refine_backend: str = "greedy"
+    num_search_workers: int = 1
     name: str = "Energy-aware"
 
     def __post_init__(self) -> None:

@@ -29,6 +29,7 @@ class LatencyAwarePolicy(PlacementPolicy):
     epoch_shards: int = 1
     hierarchy_regions: int = 1
     refine_backend: str = "greedy"
+    num_search_workers: int = 1
     name: str = "Latency-aware"
 
     @property

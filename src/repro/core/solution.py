@@ -72,6 +72,21 @@ class PlacementSolution:
     #: near 0.0 when the wave replay settles almost everything). ``None``
     #: when the backend does not run the greedy kernel.
     revalidation_rate: float | None = None
+    #: Best proven objective bound reported by the solver (the anytime exact
+    #: tier's certificate; NaN when the backend proves none).
+    solver_bound: float = float("nan")
+    #: Exact solver parameters of the run that produced this solution (time
+    #: limit, worker count, seed, scaling, status) — recorded so every exact-
+    #: tier artifact states how its incumbent was obtained. Empty for
+    #: backends without tunable solver parameters.
+    solver_params: dict = field(default_factory=dict)
+    #: Number of malformed warm-start hints (departed applications, unknown
+    #: server indices) the request sanitization dropped before solving.
+    warm_hints_dropped: int = 0
+    #: True when the construction phase hit the request's ``time_budget_s``
+    #: deadline and returned early — the solution is valid but may leave
+    #: placeable applications unplaced.
+    construction_truncated: bool = False
 
     def __post_init__(self) -> None:
         if len(self.power_on) == 0:

@@ -30,6 +30,7 @@ from repro.experiments import (  # noqa: F401
     fig17_scalability,
     serving_soak,
     planetary_sweep,
+    backend_tournament,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "fig17_scalability",
     "serving_soak",
     "planetary_sweep",
+    "backend_tournament",
 ]

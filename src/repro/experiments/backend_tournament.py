@@ -1,0 +1,147 @@
+"""Backend tournament: heuristic vs. anytime-exact solver comparison.
+
+Sweeps every solver backend of the anytime tier — the deterministic
+``heuristic``, branch-and-bound ``bnb``, and the optional OR-Tools backends
+``cpsat`` / ``milp`` — over identical fig17-style instances at several sizes,
+recording per arm the placement objective, wall-clock solve time, the best
+bound the backend proved, and the resulting optimality gap. The rows quantify
+the heuristic-vs-exact gap the registry's ``auto`` rule trades against speed,
+and double as the acceptance check for the OR-Tools tier: in an environment
+without ``ortools`` the cpsat/milp arms fall back to the heuristic (recorded
+via ``resolved_backend`` and the ``fell_back`` flag) instead of failing, so
+the tournament runs end-to-end everywhere.
+
+Every arm goes through the registry front door (:func:`repro.solver.solve`)
+on purpose: the recorded time includes the baseline/fallback machinery a real
+caller pays for, and the recorded solution is exactly what that caller would
+receive.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+from repro.analysis.reporting import format_table
+from repro.core.validation import validate_solution
+from repro.experiments.common import EXPERIMENT_SEED
+from repro.experiments.fig17_scalability import _build_problem
+from repro.experiments.registry import ExperimentSpec, RunContext, register
+from repro.solver import solve
+from repro.solver.backends.ortools_exact import OrToolsUnavailableWarning
+
+#: (n_servers, n_apps) instance sizes swept. Small enough that the exact
+#: backends close the gap within the default budget, large enough that the
+#: heuristic's speed advantage is visible.
+TOURNAMENT_SIZES: tuple[tuple[int, int], ...] = ((40, 20), (100, 50), (200, 80))
+
+#: Backends entered in the tournament. The OR-Tools arms degrade to the
+#: heuristic with a structured warning when the optional dependency is absent.
+TOURNAMENT_BACKENDS: tuple[str, ...] = ("heuristic", "bnb", "cpsat", "milp")
+
+#: Backends whose answers count as "exact" when computing the heuristic gap.
+EXACT_BACKENDS: frozenset = frozenset({"bnb", "cpsat", "milp"})
+
+
+def _run_arm(problem, backend: str, time_budget_s: float | None,
+             num_search_workers: int, seed: int) -> dict[str, object]:
+    """One (instance, backend) tournament arm through the registry front door."""
+    from repro.solver.compile import clear_compilation
+    from repro.solver.config import SolverConfig
+
+    # Each arm pays for its own compilation so timings are self-contained.
+    clear_compilation(problem)
+    config = SolverConfig(num_search_workers=num_search_workers)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        start = time.monotonic()
+        solution = solve(problem, backend=backend, time_budget_s=time_budget_s,
+                         seed=seed, config=config)
+        elapsed = time.monotonic() - start
+    validate_solution(solution)
+    fell_back = any(isinstance(w.message, OrToolsUnavailableWarning) for w in caught)
+    return {
+        "backend": backend,
+        "resolved_backend": solution.backend_name,
+        "fell_back": fell_back,
+        "carbon_g": solution.total_carbon_g(),
+        "time_s": elapsed,
+        "placed": solution.n_placed,
+        "bound": solution.solver_bound,
+        "solver_gap": solution.solver_gap,
+        "solver_params": dict(solution.solver_params),
+    }
+
+
+def run(seed: int = EXPERIMENT_SEED,
+        sizes: tuple[tuple[int, int], ...] = TOURNAMENT_SIZES,
+        backends: tuple[str, ...] = TOURNAMENT_BACKENDS,
+        time_budget_s: float | None = 10.0,
+        num_search_workers: int = 1) -> dict[str, object]:
+    """Run the tournament: one row per (size, backend), plus per-size gaps."""
+    rows: list[dict[str, object]] = []
+    gaps: list[dict[str, object]] = []
+    for n_servers, n_apps in sizes:
+        problem = _build_problem(n_servers, n_apps, seed)
+        size_rows = []
+        for backend in backends:
+            row = _run_arm(problem, backend, time_budget_s,
+                           num_search_workers, seed)
+            row.update({"n_servers": n_servers, "n_apps": n_apps})
+            size_rows.append(row)
+        rows.extend(size_rows)
+        # Heuristic-vs-exact gap: the genuinely-exact arms only (an OR-Tools
+        # arm that fell back to the heuristic proves nothing about the gap).
+        exact = [r for r in size_rows
+                 if r["backend"] in EXACT_BACKENDS and not r["fell_back"]]
+        heuristic = [r for r in size_rows if r["resolved_backend"] == "heuristic"]
+        if exact and heuristic:
+            best_exact = min(float(r["carbon_g"]) for r in exact)
+            best_heur = min(float(r["carbon_g"]) for r in heuristic)
+            gaps.append({
+                "n_servers": n_servers, "n_apps": n_apps,
+                "exact_carbon_g": best_exact,
+                "heuristic_carbon_g": best_heur,
+                "heuristic_gap": (best_heur - best_exact) / max(best_exact, 1e-12),
+            })
+    return {"arms": rows, "gaps": gaps}
+
+
+def report(result: dict[str, object]) -> str:
+    """Render tournament arms and heuristic-vs-exact gaps."""
+    def fmt(rows, drop=()):
+        return [{k: (round(v, 4) if isinstance(v, float) else v)
+                 for k, v in row.items() if k not in drop} for row in rows]
+
+    sections = [format_table(fmt(result["arms"], drop=("solver_params",)),
+                             title="Backend tournament: one arm per (size, backend)")]
+    if result["gaps"]:
+        sections.append(format_table(fmt(result["gaps"]),
+                                     title="Heuristic-vs-exact optimality gap per size"))
+    return "\n\n".join(sections)
+
+
+def compute(spec: ExperimentSpec, ctx: RunContext) -> dict[str, object]:
+    """Registry entry point: run this experiment with the resolved parameters."""
+    return run(**ctx.params)
+
+
+SPEC = register(ExperimentSpec(
+    name="backend_tournament",
+    title="Solver backend tournament (heuristic vs. anytime exact tier)",
+    kind="table",
+    compute=compute,
+    report=report,
+    params=dict(seed=EXPERIMENT_SEED, sizes=TOURNAMENT_SIZES,
+                backends=TOURNAMENT_BACKENDS, time_budget_s=10.0,
+                num_search_workers=1),
+    smoke_params=dict(sizes=((20, 8),), time_budget_s=2.0),
+    schema=("arms", "gaps"),
+    # Wall-clock rows (and, with OR-Tools installed, parallel-search
+    # incumbents): inherently machine-dependent, excluded from byte-identity.
+    deterministic=False,
+))
+
+
+if __name__ == "__main__":
+    print(report(run()))

@@ -61,8 +61,13 @@ class SolveRequest:
         it expires; ``None`` means each backend's own default limit applies.
     warm_start:
         Optional previous placement (app id -> server index) used to seed the
-        heuristic backend for incremental epoch re-solves. Entries that are
-        stale or infeasible are silently ignored.
+        backends for incremental epoch re-solves. Malformed entries — ids of
+        departed applications, server indices outside the fleet, values that
+        are not integers — are dropped up front (serving-mode re-solves can
+        produce them) and counted in :attr:`warm_hints_dropped`, so no
+        backend ever sees a hint it could KeyError on. Entries that are
+        well-formed but infeasible under the current epoch (mask/capacity)
+        are left in: backends skip those individually.
     max_nodes:
         Node budget for the branch-and-bound backend (ignored by the others).
     seed:
@@ -84,6 +89,8 @@ class SolveRequest:
     seed: int = 0
     config: SolverConfig = DEFAULT_SOLVER_CONFIG
     started_at: float = field(default_factory=time.monotonic)
+    #: Malformed warm-start entries dropped by the sanitization pass.
+    warm_hints_dropped: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.alpha <= 1.0:
@@ -92,6 +99,34 @@ class SolveRequest:
             raise ValueError(f"time_budget_s must be non-negative, got {self.time_budget_s}")
         if self.max_nodes is not None and self.max_nodes < 1:
             raise ValueError(f"max_nodes must be positive, got {self.max_nodes}")
+        self._sanitize_warm_start()
+
+    def _sanitize_warm_start(self) -> None:
+        """Drop warm-start hints no backend could honour, counting them.
+
+        Epoch re-solves in serving mode can race departures and fleet edits:
+        a hint may name an application no longer in the batch or a server
+        index outside the rebuilt fleet. Filtering here (with a counter that
+        the registry surfaces as ``PlacementSolution.warm_hints_dropped``)
+        means every backend can index ``problem.app_index(app_id)`` on the
+        remaining hints without defensive try/except of its own.
+        """
+        if not self.warm_start:
+            return
+        problem = self.problem
+        clean: dict[str, int] = {}
+        for app_id, j in self.warm_start.items():
+            try:
+                problem.app_index(app_id)
+                j = int(j)
+            except (KeyError, TypeError, ValueError):
+                self.warm_hints_dropped += 1
+                continue
+            if not 0 <= j < problem.n_servers:
+                self.warm_hints_dropped += 1
+                continue
+            clean[app_id] = j
+        self.warm_start = clean
 
     @property
     def compilation(self) -> EpochCompilation:

@@ -56,4 +56,11 @@ class BranchAndBoundBackend:
         unplaced = [problem.applications[i].app_id for i in report.unplaceable]
         return PlacementSolution(problem=problem, placements=placements,
                                  power_on=power_on, unplaced=unplaced,
-                                 solver_gap=result.gap)
+                                 solver_gap=result.gap,
+                                 solver_bound=result.bound,
+                                 solver_params={
+                                     "backend": self.name,
+                                     "max_nodes": solver.max_nodes,
+                                     "time_limit_s": solver.time_limit_s,
+                                     "nodes_explored": result.nodes_explored,
+                                 })

@@ -65,6 +65,12 @@ class GreedyLocalSearchBackend:
     def solve(self, request: SolveRequest) -> PlacementSolution | None:
         state = GreedyState(request.dense())
         self._apply_warm_start(request, state)
+        # The construction respects an explicit time budget (requests without
+        # one keep the unbounded construction — bit-identity consumers never
+        # pass a budget, so their schedule is untouched). An expired budget
+        # returns the valid partial fill, flagged construction_truncated.
+        construction_deadline = None if request.time_budget_s is None \
+            else request.started_at + request.time_budget_s
         # The shard-aware construction path: with ``config.epoch_shards > 1``
         # the compiled epoch tensors are partitioned along the application
         # axis and filled on a worker pool — bit-identical to the serial
@@ -76,7 +82,8 @@ class GreedyLocalSearchBackend:
             plan = greedy_fill_sharded(state, request.problem.energy_j, shards,
                                        request.config.min_shard_apps,
                                        reconcile_mode=request.config.reconcile_mode,
-                                       dispatch=request.config.dispatch)
+                                       dispatch=request.config.dispatch,
+                                       deadline=construction_deadline)
             # Surface how much of the construction actually parallelised —
             # 0.0 marks a saturated epoch that degraded to the serial kernel
             # (planner refused, or one coupled component dominated).
@@ -84,8 +91,9 @@ class GreedyLocalSearchBackend:
                 if plan is not None and plan.is_parallel else 0.0
         else:
             greedy_fill(state, request.problem.energy_j,
-                        reconcile_mode=request.config.reconcile_mode)
-        if self.local_search:
+                        reconcile_mode=request.config.reconcile_mode,
+                        deadline=construction_deadline)
+        if self.local_search and not state.stats.truncated:
             self._improve(request, state)
         solution = solution_from_assignment(request, state.assignment)
         solution.shard_parallel_fraction = parallel_fraction
@@ -93,22 +101,24 @@ class GreedyLocalSearchBackend:
         # bit-identical across reconcile modes; see FillStats).
         solution.wave_count = state.stats.waves
         solution.revalidation_rate = state.stats.revalidation_rate
+        solution.construction_truncated = state.stats.truncated
         return solution
 
     # -- construction ---------------------------------------------------------
 
     def _apply_warm_start(self, request: SolveRequest, state: GreedyState) -> None:
-        """Seed the assignment from a previous placement, skipping stale entries."""
+        """Seed the assignment from a previous placement, skipping stale entries.
+
+        Malformed hints (departed apps, out-of-range servers) were already
+        dropped — and counted — by the request's sanitization pass; what
+        remains is well-formed, so only the epoch-specific feasibility checks
+        (mask, remaining capacity) are applied here.
+        """
         if not request.warm_start:
             return
         problem = request.problem
         for app_id, j in request.warm_start.items():
-            try:
-                i = problem.app_index(app_id)  # O(1), cached on the problem
-            except KeyError:
-                continue
-            if not 0 <= int(j) < problem.n_servers:
-                continue
+            i = problem.app_index(app_id)  # O(1), cached on the problem
             j = int(j)
             if not state.dense.mask[i, j] or state.assignment[i] >= 0:
                 continue

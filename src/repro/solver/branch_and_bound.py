@@ -64,7 +64,8 @@ class BranchAndBoundSolver:
             return root
         if root.is_integral(binary_names, tol=self.integrality_tol):
             return SolveResult(status=SolveStatus.OPTIMAL, objective=root.objective,
-                               values=root.values, gap=0.0, nodes_explored=1)
+                               values=root.values, gap=0.0, bound=root.objective,
+                               nodes_explored=1)
 
         best_bound = root.objective
         incumbent: SolveResult | None = None
@@ -120,5 +121,6 @@ class BranchAndBoundSolver:
             objective=incumbent.objective,
             values=incumbent.values,
             gap=0.0 if proven_optimal else gap,
+            bound=incumbent.objective if proven_optimal else lower_bound,
             nodes_explored=nodes_explored,
         )

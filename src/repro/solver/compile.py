@@ -68,6 +68,7 @@ pass. Shard tasks themselves execute through the persistent dispatch pool
 from __future__ import annotations
 
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import partial
@@ -202,6 +203,16 @@ def bool_all(fits_per_key: np.ndarray) -> np.ndarray:
 #: replay loop everywhere ``reconcile_mode="auto"`` applies.
 WAVE_REPLAY_ENV: str = "CARBON_EDGE_DISABLE_WAVE_REPLAY"
 
+#: The construction deadline is polled every this many applications inside
+#: the per-application loops (matching the local-search stride), so the
+#: budget check costs one clock read per stride instead of per placement.
+_DEADLINE_STRIDE: int = 64
+
+
+def _expired(deadline: float | None) -> bool:
+    """Whether an (optional) absolute monotonic deadline has passed."""
+    return deadline is not None and time.monotonic() >= deadline
+
 
 def wave_replay_enabled() -> bool:
     """Whether ``reconcile_mode="auto"`` resolves to the wave replay."""
@@ -235,6 +246,12 @@ class FillStats:
     serial_steps: int = 0
     invalidations: int = 0
     pending: int = 0
+    #: True when a construction deadline expired mid-fill and the kernel
+    #: returned early — the partial assignment is valid (every committed
+    #: placement is the serial kernel's own choice) but applications past the
+    #: cut-off were left unplaced. Surfaced as
+    #: ``PlacementSolution.construction_truncated``.
+    truncated: bool = False
 
     @property
     def revalidation_rate(self) -> float:
@@ -336,7 +353,8 @@ def _pending_order(state: GreedyState, energy_j: np.ndarray,
 
 def greedy_fill(state: GreedyState, energy_j: np.ndarray,
                 apps: Sequence[int] | None = None,
-                reconcile_mode: str = "auto") -> None:
+                reconcile_mode: str = "auto",
+                deadline: float | None = None) -> None:
     """THE greedy placement kernel (every policy and backend routes here).
 
     Places each still-unassigned application at its cheapest marginal-cost
@@ -366,10 +384,22 @@ def greedy_fill(state: GreedyState, energy_j: np.ndarray,
     kill-switch) selects it. The placements — and the float arithmetic order
     of the shared state — are bit-identical to the naive loop by the
     certificate documented on :func:`plan_shards`, for every mode.
+
+    ``deadline`` (absolute monotonic seconds) makes the construction itself
+    anytime: the fill polls it at coarse boundaries (every
+    :data:`_DEADLINE_STRIDE` applications, or per replay round) and returns
+    early with :attr:`FillStats.truncated` set when it expires. Every
+    placement committed before the cut-off is exactly the serial kernel's
+    own choice, so the partial assignment is valid — applications past the
+    cut-off simply stay unplaced. ``deadline=None`` (every bit-identity
+    consumer) leaves the schedule untouched.
     """
     dense = state.dense
     order = _pending_order(state, energy_j, apps)
     if not order:
+        return
+    if _expired(deadline):
+        state.stats.truncated = True
         return
     activation_coupled = (dense.activation != 0.0) & ~dense.initially_on \
         & (state.served == 0)
@@ -378,20 +408,25 @@ def greedy_fill(state: GreedyState, energy_j: np.ndarray,
     # never-activating server still poisons the naive loop's marginal row
     # (inf * 0.0 is NaN), which the static cost row would not reproduce.
     if not activation_coupled.any() and np.isfinite(dense.activation).all():
-        _greedy_fill_cold(state, order, reconcile_mode)
+        _greedy_fill_cold(state, order, reconcile_mode, deadline)
         return
-    _greedy_fill_live(state, order)
+    _greedy_fill_live(state, order, deadline)
 
 
-def _greedy_fill_live(state: GreedyState, order: Sequence[int]) -> None:
+def _greedy_fill_live(state: GreedyState, order: Sequence[int],
+                      deadline: float | None = None) -> None:
     """The naive per-row schedule: full feasibility scan and marginal-cost
     row per application. Required when the activation channel is live (the
     marginal row genuinely changes as servers switch on); also the reference
     arm of the kernel benchmark."""
     dense = state.dense
     state.stats.pending += len(order)
-    state.stats.serial_steps += len(order)
-    for i in order:
+    for k, i in enumerate(order):
+        if deadline is not None and k % _DEADLINE_STRIDE == 0 \
+                and time.monotonic() >= deadline:
+            state.stats.truncated = True
+            return
+        state.stats.serial_steps += 1
         feasible = dense.mask[i] & dense.fits(i, state.capacity_left)
         if not feasible.any():
             continue
@@ -403,7 +438,8 @@ def _greedy_fill_live(state: GreedyState, order: Sequence[int]) -> None:
 
 
 def _greedy_fill_cold(state: GreedyState, order: Sequence[int],
-                      reconcile_mode: str = "auto") -> None:
+                      reconcile_mode: str = "auto",
+                      deadline: float | None = None) -> None:
     """Serial speculate-and-revalidate fill for a cold activation channel.
 
     Identical to the reconciliation replay of :func:`greedy_fill_sharded`'s
@@ -423,9 +459,9 @@ def _greedy_fill_cold(state: GreedyState, order: Sequence[int],
     _, choices = _argmin_chunk(dense, order)
     state.stats.pending += len(order)
     if _use_wave_replay(reconcile_mode):
-        _replay_waves(state, order, choices)
+        _replay_waves(state, order, choices, deadline)
     else:
-        _replay_per_app(state, order, choices)
+        _replay_per_app(state, order, choices, deadline)
 
 
 def _replay_step(state: GreedyState, i: int, j: int) -> None:
@@ -460,7 +496,8 @@ def _replay_step(state: GreedyState, i: int, j: int) -> None:
 
 
 def _replay_per_app(state: GreedyState, order: np.ndarray,
-                    choices: np.ndarray) -> None:
+                    choices: np.ndarray,
+                    deadline: float | None = None) -> None:
     """The per-application reconciliation replay (the ``"serial"`` arm).
 
     Runs :func:`_replay_step` for every application in processing order —
@@ -469,6 +506,10 @@ def _replay_per_app(state: GreedyState, order: np.ndarray,
     measures against, and the tail fallback of :func:`_replay_waves`.
     """
     for k, i in enumerate(order):
+        if deadline is not None and k % _DEADLINE_STRIDE == 0 \
+                and time.monotonic() >= deadline:
+            state.stats.truncated = True
+            return
         _replay_step(state, int(i), int(choices[k]))
 
 
@@ -480,7 +521,8 @@ _WAVE_SCAN_BUDGET_FACTOR: int = 8
 
 
 def _replay_waves(state: GreedyState, order: np.ndarray,
-                  choices: np.ndarray) -> None:
+                  choices: np.ndarray,
+                  deadline: float | None = None) -> None:
     """Wave-vectorised reconciliation replay of speculative winners.
 
     Partitions the replay order into *waves* — maximal serial-order prefixes
@@ -533,6 +575,9 @@ def _replay_waves(state: GreedyState, order: np.ndarray,
     budget = _WAVE_SCAN_BUDGET_FACTOR * n
     pos = 0
     while pos < n:
+        if _expired(deadline):  # polled once per wave round
+            state.stats.truncated = True
+            return
         r = n - pos
         budget -= r
         t = targets[pos:]
@@ -577,7 +622,7 @@ def _replay_waves(state: GreedyState, order: np.ndarray,
         if budget <= 0:
             # Productivity guard: conflicts are too dense for wave planning
             # to pay — finish the tail with the per-application replay.
-            _replay_per_app(state, order[pos:], choices[pos:])
+            _replay_per_app(state, order[pos:], choices[pos:], deadline)
             return
 
 
@@ -973,7 +1018,8 @@ def _solve_coupled_bin(state: GreedyState, energy_j: np.ndarray,
 def greedy_fill_sharded(state: GreedyState, energy_j: np.ndarray, n_shards: int,
                         min_shard_apps: int = MIN_SHARD_APPS,
                         reconcile_mode: str = "auto",
-                        dispatch: str = "auto") -> ShardPlan | None:
+                        dispatch: str = "auto",
+                        deadline: float | None = None) -> ShardPlan | None:
     """Sharded greedy placement, bit-identical to :func:`greedy_fill`.
 
     Plans shards (:func:`plan_shards`), solves them on the persistent
@@ -1003,9 +1049,15 @@ def greedy_fill_sharded(state: GreedyState, energy_j: np.ndarray, n_shards: int,
     provably order-independent share of the construction whether it was
     dispatched or executed by the equivalent serial schedule.
     """
+    if _expired(deadline):
+        # Construction-budget early exit before any planning work: the empty
+        # fill is a valid (flagged-incomplete) answer.
+        state.stats.truncated = True
+        return None
     plan = plan_shards(state, energy_j, n_shards, min_shard_apps)
     if plan is None or not plan.is_parallel or plan.mode == "speculate":
-        greedy_fill(state, energy_j, reconcile_mode=reconcile_mode)
+        greedy_fill(state, energy_j, reconcile_mode=reconcile_mode,
+                    deadline=deadline)
         return plan
     dense = state.dense
     tasks = [partial(_argmin_chunk, dense, chunk) for chunk in plan.free_chunks]

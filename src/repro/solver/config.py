@@ -43,7 +43,16 @@ class SolverConfig:
     and warm starts — the knobs that select *which* solution comes back —
     live on :class:`~repro.solver.backend.SolveRequest` instead.
 
-    One documented carve-out: the *hierarchy* knobs (``hierarchy_regions``,
+    Two documented carve-outs. First, ``num_search_workers``: for the anytime
+    exact backends (``cpsat``/``milp``) a wider portfolio search explores the
+    tree in a different order, so under a *finite* time budget the incumbent
+    held at the deadline may differ between worker counts (a run to proven
+    optimality returns the same objective regardless). The recorded
+    ``solver_params`` on the solution always state the worker count used, so
+    artifacts remain attributable. The heuristic-family backends ignore the
+    knob entirely.
+
+    Second, the *hierarchy* knobs (``hierarchy_regions``,
     ``refine_backend``) select a different solver tier — the cluster-then-
     refine hierarchy of :mod:`repro.solver.hierarchy` — which deliberately
     trades optimality for memory/scale and therefore *does* change the answer
@@ -88,6 +97,12 @@ class SolverConfig:
     refine_backend:
         Registry backend name used for each region's refinement sub-solve
         when ``hierarchy_regions > 1`` (e.g. ``"greedy"``, ``"auto"``).
+    num_search_workers:
+        Parallel search workers for the anytime exact backends (CP-SAT's
+        portfolio search; the MILP wrapper's thread count where supported).
+        ``1`` keeps the single-worker search. See the carve-out above:
+        under a finite time budget this knob may change which incumbent is
+        returned.
     """
 
     epoch_shards: int = 1
@@ -96,10 +111,14 @@ class SolverConfig:
     dispatch: str = "auto"
     hierarchy_regions: int = 1
     refine_backend: str = "greedy"
+    num_search_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.epoch_shards < 1:
             raise ValueError(f"epoch_shards must be >= 1, got {self.epoch_shards}")
+        if self.num_search_workers < 1:
+            raise ValueError(
+                f"num_search_workers must be >= 1, got {self.num_search_workers}")
         if self.min_shard_apps < 1:
             raise ValueError(f"min_shard_apps must be >= 1, got {self.min_shard_apps}")
         if self.reconcile_mode not in RECONCILE_MODES:

@@ -12,8 +12,14 @@ One problem description, interchangeable backends::
 
 Backends register themselves with :func:`register_backend` (the built-ins do
 so when :mod:`repro.solver.backends` is imported, which happens lazily on
-first use); external packages — an OR-Tools or CP-SAT backend, say — can call
-it at import time and become addressable by name with no further wiring.
+first use); external packages can call it at import time and become
+addressable by name with no further wiring. The anytime exact tier —
+``cpsat`` (OR-Tools CP-SAT) and ``milp`` (pywraplp) — registers
+unconditionally but degrades gracefully: when the optional ``ortools``
+dependency is absent the backend emits a structured
+:class:`~repro.solver.backends.ortools_exact.OrToolsUnavailableWarning` and
+``solve`` falls back to the deterministic heuristic, never raising an
+``ImportError``.
 
 For backends that cannot guarantee a complete answer (the exact and
 LP-rounding backends), ``solve`` also computes the deterministic heuristic
@@ -194,10 +200,12 @@ def solve(
         # silently substitute local-search results for a pure-greedy request).
         primary.backend_name = name
         primary.solve_time_s = time.monotonic() - start
+        primary.warm_hints_dropped = request.warm_hints_dropped
         return primary
 
-    # The heuristic baseline runs on whatever budget remains (its greedy
-    # construction always completes — only its local search is deadline-bound)
+    # The heuristic baseline runs on whatever budget remains (both its greedy
+    # construction and its local search respect the request deadline — an
+    # expired budget yields a valid solution flagged construction_truncated)
     # and serves as fallback, gap-filler, and quality floor.
     baseline = get_backend("heuristic").solve(request)
     assert baseline is not None  # the heuristic always returns a solution
@@ -209,6 +217,7 @@ def solve(
         _fill_missing(request, primary, baseline)
         chosen = _better(request, primary, baseline)
     chosen.solve_time_s = time.monotonic() - start
+    chosen.warm_hints_dropped = request.warm_hints_dropped
     return chosen
 
 

@@ -38,6 +38,10 @@ class SolveResult:
     gap:
         Relative optimality gap of the incumbent (0 for proven optimal,
         NaN when unknown).
+    bound:
+        Best proven lower bound on the objective (equals ``objective`` for a
+        proven-optimal solve, NaN when the solver proves none) — the anytime
+        tier's certificate, surfaced as ``PlacementSolution.solver_bound``.
     nodes_explored:
         Number of branch-and-bound nodes explored (0 for pure LP solves).
     """
@@ -46,6 +50,7 @@ class SolveResult:
     objective: float = float("nan")
     values: dict[str, float] = field(default_factory=dict)
     gap: float = float("nan")
+    bound: float = float("nan")
     nodes_explored: int = 0
 
     @property

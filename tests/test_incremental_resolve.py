@@ -133,6 +133,51 @@ def test_resolve_epoch_failure_restores_allocations(placer, central_eu_fleet):
     assert resolved is not None and resolved.all_placed
 
 
+class _ExpectedFailurePolicy(CarbonEdgePolicy):
+    """Policy raising an *expected* failure type (ValueError)."""
+
+    def place(self, problem, warm_start=None):
+        raise ValueError("infeasible by construction")
+
+
+def test_resolve_epoch_unexpected_error_is_logged_and_propagates(
+        placer, central_eu_fleet, caplog):
+    import logging
+
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    placer.place_batch(apps, hour=0)
+    before = _allocation_map(central_eu_fleet)
+
+    placer.policy = _FailingPolicy()  # raises RuntimeError: not an expected type
+    with caplog.at_level(logging.ERROR, logger="repro.core.incremental"):
+        with pytest.raises(RuntimeError, match="solver exploded"):
+            placer.resolve_epoch(hour=12)
+    # The injected error surfaced to the caller, the fleet was restored, AND
+    # the unexpected type was logged (it must never be silently
+    # indistinguishable from a routine validation failure).
+    assert _allocation_map(central_eu_fleet) == before
+    logged = [r for r in caplog.records if "unexpected RuntimeError" in r.getMessage()]
+    assert len(logged) == 1
+    assert "fleet state restored" in logged[0].getMessage()
+
+
+def test_resolve_epoch_expected_error_propagates_without_noise(
+        placer, central_eu_fleet, caplog):
+    import logging
+
+    apps = make_apps(central_eu_fleet.sites(), n_per_site=2)
+    placer.place_batch(apps, hour=0)
+    before = _allocation_map(central_eu_fleet)
+
+    placer.policy = _ExpectedFailurePolicy()
+    with caplog.at_level(logging.ERROR, logger="repro.core.incremental"):
+        with pytest.raises(ValueError, match="infeasible by construction"):
+            placer.resolve_epoch(hour=12)
+    assert _allocation_map(central_eu_fleet) == before
+    # Expected failure types surface as-is, with no "unexpected" log record.
+    assert not [r for r in caplog.records if "unexpected" in r.getMessage()]
+
+
 def test_reoptimize_tears_down_evicted_apps(placer, central_eu_fleet):
     orchestrator = EdgeOrchestrator(placer=placer)
     apps = make_apps(central_eu_fleet.sites(), n_per_site=2)

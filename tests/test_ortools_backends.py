@@ -1,0 +1,211 @@
+"""Tests for the anytime exact tier (OR-Tools ``cpsat`` / ``milp`` backends).
+
+Two regimes, both CI-covered:
+
+* **Without ortools** (the default container): the fallback contract — the
+  backends register, emit a structured :class:`OrToolsUnavailableWarning`,
+  and the registry degrades to the deterministic heuristic. Never an
+  ``ImportError`` on a solve path.
+* **With ortools** (the optional-deps CI job): the real-solver contract —
+  cpsat/milp agree with the branch-and-bound optimum on small seeded
+  instances, honour the time budget (anytime: any budget returns an
+  incumbent plus a recorded bound), never return worse than their warm hint,
+  and record the solver parameters used.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.validation import validate_solution
+from repro.solver import registry
+from repro.solver.backend import SolveRequest, raw_objective_value
+from repro.solver.backends import ortools_exact
+from repro.solver.backends.ortools_exact import (
+    OrToolsUnavailableWarning,
+    ortools_available,
+)
+from repro.solver.compile import GreedyState, greedy_fill
+from repro.solver.config import SolverConfig
+
+from tests.test_backend_metamorphic import _random_problem
+
+needs_ortools = pytest.mark.skipif(
+    not ortools_available(),
+    reason="optional ortools dependency not installed (pip install .[exact])")
+
+
+# -- registration (no ortools needed) ---------------------------------------------
+
+def test_exact_tier_backends_and_aliases_registered():
+    assert registry.get_backend("cpsat").name == "cpsat"
+    assert registry.get_backend("cp-sat").name == "cpsat"
+    assert registry.get_backend("ortools").name == "cpsat"
+    assert registry.get_backend("milp").name == "milp"
+    assert registry.get_backend("pywraplp").name == "milp"
+    assert registry.get_backend("mip").name == "milp"
+
+
+# -- graceful degradation (forced, so it holds with ortools installed too) --------
+
+@pytest.mark.parametrize("backend", ["cpsat", "milp"])
+def test_missing_ortools_degrades_to_heuristic_with_structured_warning(
+        backend, monkeypatch):
+    monkeypatch.setattr(ortools_exact, "_load_ortools", lambda: None)
+    problem = _random_problem(seed=0, n_apps=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        solution = registry.solve(problem, backend=backend)
+    validate_solution(solution)
+    assert solution.all_placed
+    assert solution.backend_name == "heuristic"
+    messages = [w for w in caught if isinstance(w.message, OrToolsUnavailableWarning)]
+    assert len(messages) == 1
+    assert backend in str(messages[0].message)
+    assert "pip install .[exact]" in str(messages[0].message)
+
+
+@pytest.mark.parametrize("backend", ["cpsat", "milp"])
+def test_missing_ortools_backend_returns_none_not_importerror(backend, monkeypatch):
+    monkeypatch.setattr(ortools_exact, "_load_ortools", lambda: None)
+    request = SolveRequest(problem=_random_problem(seed=1, n_apps=3))
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", OrToolsUnavailableWarning)
+        assert registry.get_backend(backend).solve(request) is None
+
+
+def test_ortools_available_reflects_import(monkeypatch):
+    monkeypatch.setattr(ortools_exact, "_load_ortools", lambda: None)
+    assert ortools_exact.ortools_available() is False
+
+
+# -- warm-start sanitization (satellite 3) ----------------------------------------
+
+def test_solve_request_drops_and_counts_malformed_hints():
+    problem = _random_problem(seed=2, n_apps=4)
+    good_app = problem.applications[0].app_id
+    request = SolveRequest(problem=problem, warm_start={
+        good_app: 0,                 # kept
+        "departed-app": 1,           # unknown id -> dropped
+        problem.applications[1].app_id: 10**6,   # out-of-range server -> dropped
+        problem.applications[2].app_id: "zero",  # non-numeric -> dropped
+    })
+    assert request.warm_hints_dropped == 3
+    assert request.warm_start == {good_app: 0}
+
+
+def test_clean_warm_start_drops_nothing():
+    problem = _random_problem(seed=2, n_apps=4)
+    warm = {app.app_id: 0 for app in problem.applications}
+    request = SolveRequest(problem=problem, warm_start=warm)
+    assert request.warm_hints_dropped == 0
+    assert request.warm_start == warm
+
+
+def test_dropped_hint_counter_reaches_the_solution():
+    problem = _random_problem(seed=3, n_apps=4)
+    solution = registry.solve(problem, backend="heuristic",
+                              warm_start={"no-such-app": 0, "nor-this-one": 2})
+    validate_solution(solution)
+    assert solution.all_placed
+    assert solution.warm_hints_dropped == 2
+    untainted = registry.solve(problem, backend="heuristic")
+    assert untainted.warm_hints_dropped == 0
+
+
+# -- construction deadline (satellite 2) ------------------------------------------
+
+def test_greedy_fill_expired_deadline_truncates_with_valid_state():
+    request = SolveRequest(problem=_random_problem(seed=4, n_apps=6))
+    state = GreedyState(request.dense())
+    greedy_fill(state, request.problem.energy_j, deadline=time.monotonic() - 1.0)
+    assert state.stats.truncated
+    # Whatever was filled before the cut is a consistent partial assignment.
+    assert np.all(state.assignment == -1) or state.assignment.max() >= 0
+
+
+def test_expired_budget_flags_construction_truncated_on_the_solution():
+    problem = _random_problem(seed=4, n_apps=6)
+    request = SolveRequest(problem=problem, time_budget_s=5.0,
+                           started_at=time.monotonic() - 10.0)  # already expired
+    solution = registry.get_backend("heuristic").solve(request)
+    assert solution is not None
+    validate_solution(solution)
+    assert solution.construction_truncated
+    assert not solution.all_placed
+
+
+def test_no_budget_leaves_construction_untruncated():
+    problem = _random_problem(seed=4, n_apps=6)
+    solution = registry.get_backend("heuristic").solve(SolveRequest(problem=problem))
+    assert solution is not None
+    assert not solution.construction_truncated
+    assert solution.all_placed
+
+
+# -- real-solver contract (optional-deps CI job) ----------------------------------
+
+@needs_ortools
+@pytest.mark.parametrize("backend", ["cpsat", "milp"])
+@pytest.mark.parametrize("seed,n_apps", [(0, 3), (1, 4), (2, 5)])
+def test_exact_tier_matches_bnb_optimum(backend, seed, n_apps):
+    problem = _random_problem(seed, n_apps)
+    request = SolveRequest(problem=problem)
+    bnb = registry.get_backend("bnb").solve(request)
+    exact = registry.get_backend(backend).solve(SolveRequest(problem=problem))
+    assert bnb is not None and exact is not None
+    validate_solution(exact, strict=True)
+    assert exact.n_placed == n_apps
+    bnb_obj = raw_objective_value(request, bnb)
+    exact_obj = raw_objective_value(request, exact)
+    # Both prove optimality on these sizes; the CP-SAT fixed-point scaling
+    # perturbs coefficients by at most 1/CPSAT_SCALE each.
+    assert exact_obj <= bnb_obj + 1e-4 * max(1.0, abs(bnb_obj))
+    assert bnb_obj <= exact_obj + 1e-4 * max(1.0, abs(exact_obj))
+
+
+@needs_ortools
+@pytest.mark.parametrize("backend", ["cpsat", "milp"])
+def test_exact_tier_records_bound_and_params(backend):
+    problem = _random_problem(seed=1, n_apps=4)
+    solution = registry.solve(problem, backend=backend, time_budget_s=20.0,
+                              config=SolverConfig(num_search_workers=1))
+    validate_solution(solution)
+    assert solution.backend_name == backend
+    assert np.isfinite(solution.solver_bound)
+    params = solution.solver_params
+    assert params["backend"] == backend
+    assert params["num_search_workers"] == 1
+    assert "status" in params
+    # Anytime contract: incumbent objective never beats the proven bound.
+    request = SolveRequest(problem=problem)
+    assert solution.solver_bound <= raw_objective_value(request, solution) + 1e-6
+
+
+@needs_ortools
+@pytest.mark.parametrize("backend", ["cpsat", "milp"])
+def test_warm_hinted_solve_never_worse_than_hint(backend):
+    problem = _random_problem(seed=3, n_apps=6)
+    request = SolveRequest(problem=problem)
+    hint = registry.get_backend("heuristic").solve(request)
+    warm = registry.solve(problem, backend=backend, time_budget_s=20.0,
+                          warm_start=dict(hint.placements))
+    validate_solution(warm)
+    assert warm.n_placed >= hint.n_placed
+    assert raw_objective_value(request, warm) <= \
+        raw_objective_value(request, hint) + 1e-6
+
+
+@needs_ortools
+@pytest.mark.parametrize("backend", ["cpsat", "milp"])
+def test_tight_budget_still_returns_an_incumbent(backend):
+    problem = _random_problem(seed=2, n_apps=6)
+    solution = registry.solve(problem, backend=backend, time_budget_s=0.5)
+    validate_solution(solution)
+    # Anytime: either the exact incumbent (hint-seeded) or the registry's
+    # heuristic fallback — always a usable solution.
+    assert solution.all_placed or solution.construction_truncated
