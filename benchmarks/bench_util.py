@@ -15,7 +15,13 @@ left exactly as they are — the PR 4 era baseline detection in
 from __future__ import annotations
 
 import json
+import resource
 from pathlib import Path
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS in MB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
 
 
 def load_bench_history(artifact: Path) -> list:

@@ -37,6 +37,7 @@ from repro.workloads.application import Application
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a core<->solver cycle
     from repro.solver.compile import EpochCompilation, ScenarioCompilation
+    from repro.workloads.generator import ApplicationBatch
 
 logger = logging.getLogger(__name__)
 
@@ -113,8 +114,14 @@ class IncrementalPlacer:
             return None
         return compile_scenario(self.fleet.servers(), self.latency, self.carbon)
 
-    def build_problem(self, applications: list[Application], hour: int) -> PlacementProblem:
-        """Assemble the placement problem for one batch from current fleet state."""
+    def build_problem(self, applications: "list[Application] | ApplicationBatch",
+                      hour: int) -> PlacementProblem:
+        """Assemble the placement problem for one batch from current fleet state.
+
+        Accepts either a list of applications or a columnar
+        :class:`~repro.workloads.generator.ApplicationBatch`; a batch flows
+        through to the substrate's class-table fast path untouched.
+        """
         return PlacementProblem.build(
             applications=applications,
             servers=self.fleet.servers(),
@@ -126,10 +133,10 @@ class IncrementalPlacer:
             substrate=self.scenario_compilation(),
         )
 
-    def place_batch(self, applications: list[Application], hour: int,
-                    commit: bool = True) -> PlacementSolution:
+    def place_batch(self, applications: "list[Application] | ApplicationBatch",
+                    hour: int, commit: bool = True) -> PlacementSolution:
         """Place one batch of applications and (optionally) commit it to the fleet."""
-        if not applications:
+        if len(applications) == 0:
             raise ValueError("place_batch requires at least one application")
         from repro.solver.compile import compile_placement
 

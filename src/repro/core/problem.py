@@ -375,7 +375,14 @@ class PlacementProblem:
             with its epoch compilation pre-seeded. A non-matching substrate
             falls back to the cold build below.
         """
-        applications = list(applications)
+        from repro.workloads.generator import ApplicationBatch
+
+        # Columnar batches pass through to the substrate untouched (class
+        # table intact, object view unmaterialised); only the cold fallback
+        # below needs the per-object list.
+        batch = applications if isinstance(applications, ApplicationBatch) else None
+        if batch is None:
+            applications = list(applications)
         servers = list(servers)
         a, s = len(applications), len(servers)
         if a == 0:
@@ -386,6 +393,8 @@ class PlacementProblem:
             return substrate.build_problem(applications, hour=hour,
                                            horizon_hours=horizon_hours,
                                            use_forecast=use_forecast)
+        if batch is not None:
+            applications = list(batch.applications)
         ensure_dense_cell_budget(a, s, context="PlacementProblem.build")
 
         # Latency: one site-index gather instead of A x S matrix lookups.

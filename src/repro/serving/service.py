@@ -46,6 +46,7 @@ from repro.simulator.metrics import SimulationResult
 from repro.simulator.scenario import CDNScenario
 from repro.solver.compile import compile_placement
 from repro.workloads.application import Application
+from repro.workloads.generator import ApplicationBatch, columnar_enabled
 
 
 @dataclass(frozen=True)
@@ -187,6 +188,11 @@ class PlacementService:
             if not pending:
                 return
             batch, pending[:] = list(pending), []
+            if columnar_enabled():
+                # Columnar ingestion: the batch flows to the substrate's
+                # class-table fast path; from_applications keeps the original
+                # objects so the metrics lookups below see identical instances.
+                batch = ApplicationBatch.from_applications(tuple(batch))
             hour = self._hour_at(event.time_s)
             started = time.perf_counter()
             solution = placer.place_batch(batch, hour)

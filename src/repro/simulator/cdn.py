@@ -271,8 +271,11 @@ class CDNSimulator:
         self.fleet.reset_allocations()
         for server in self.fleet.servers():
             server.power_on()
+        # The batch goes through columnar: the substrate consumes its class
+        # table directly (per-object view stays unmaterialised unless the
+        # CARBON_EDGE_DISABLE_COLUMNAR kill-switch or a cold rebuild needs it).
         return PlacementProblem.build(
-            applications=list(batch.applications),
+            applications=batch,
             servers=self.fleet.servers(),
             latency=self.latency,
             carbon=self.carbon,
@@ -341,12 +344,18 @@ class CDNSimulator:
 
         from repro.solver.compile import assignment_to_solution
         from repro.solver.hierarchy import solve_hierarchical
+        from repro.workloads.generator import LazyApplications
 
         substrate = compile_scenario(self.fleet.servers(), self.latency, self.carbon)
         manage_power = getattr(policy, "manage_power", True)
+        # A problem assembled from a columnar batch hands the batch itself to
+        # the hierarchy (class table intact); object-built problems pass the
+        # application list as before.
+        apps = problem.applications
+        apps = apps.batch if isinstance(apps, LazyApplications) else list(apps)
         start = time.monotonic()
         outcome = solve_hierarchical(
-            substrate, list(problem.applications), plan,
+            substrate, apps, plan,
             hour=self.scenario.epoch_start_hour(epoch),
             horizon_hours=float(self.scenario.hours_per_epoch),
             objective=policy.objective_kind,

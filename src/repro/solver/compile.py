@@ -95,6 +95,11 @@ from repro.cluster.resources import ResourceVector
 from repro.core.solution import PlacementSolution
 from repro.solver.config import MIN_SHARD_APPS
 from repro.solver.dispatch import run_tasks
+from repro.workloads.generator import (
+    ApplicationBatch,
+    LazyApplications,
+    columnar_enabled,
+)
 
 if TYPE_CHECKING:  # typing only — no runtime dependency on these layers
     from repro.carbon.service import CarbonIntensityService
@@ -329,7 +334,7 @@ class GreedyState:
 
 
 def _pending_order(state: GreedyState, energy_j: np.ndarray,
-                   apps: Sequence[int] | None = None) -> list[int]:
+                   apps: Sequence[int] | None = None) -> np.ndarray:
     """Still-unassigned applications in the kernel's processing order.
 
     Most-constrained first: fewest candidate servers, then larger maximum
@@ -338,17 +343,20 @@ def _pending_order(state: GreedyState, energy_j: np.ndarray,
     order as the full sort (stability), which is what makes per-shard
     processing order-compatible with the serial kernel. Implemented as a
     stable ``np.lexsort`` over the same keys the original per-application
-    tuple sort compared, so the order is unchanged.
+    tuple sort compared, so the order is unchanged — and fully vectorised
+    (no per-application Python loop), which matters at 10^6 applications.
     """
     dense = state.dense
-    candidates = range(len(state.assignment)) if apps is None else apps
-    pending = [int(i) for i in candidates if state.assignment[i] < 0]
+    if apps is None:
+        pending = np.flatnonzero(state.assignment < 0)
+    else:
+        idx = np.asarray(apps, dtype=int)
+        pending = idx[state.assignment[idx] < 0] if len(idx) else idx
     if len(pending) <= 1:
         return pending
-    idx = np.asarray(pending, dtype=int)
-    counts = dense.mask[idx].sum(axis=1)
-    max_energy = energy_j[idx].max(axis=1, initial=0.0)
-    return [pending[k] for k in np.lexsort((-max_energy, counts))]
+    counts = dense.mask[pending].sum(axis=1)
+    max_energy = energy_j[pending].max(axis=1, initial=0.0)
+    return pending[np.lexsort((-max_energy, counts))]
 
 
 def greedy_fill(state: GreedyState, energy_j: np.ndarray,
@@ -396,7 +404,7 @@ def greedy_fill(state: GreedyState, energy_j: np.ndarray,
     """
     dense = state.dense
     order = _pending_order(state, energy_j, apps)
-    if not order:
+    if not len(order):
         return
     if _expired(deadline):
         state.stats.truncated = True
@@ -1309,8 +1317,28 @@ def scenario_tier_enabled() -> bool:
 
 #: Per-scenario class caches are dropped wholesale beyond this many distinct
 #: application classes (unbounded only for adversarial streams of distinct
-#: request rates; catalogue workloads stay tiny).
+#: request rates; catalogue workloads stay tiny). The same limit caps each of
+#: the keyed row caches (blocks / energy / dense / fit rows) individually, as
+#: an LRU instead of a wholesale drop. Overridable per process through
+#: :data:`CLASS_CACHE_ENV` — a 10k-site planetary run wants it raised (so one
+#: epoch's classes stay resident), a memory-tight soak wants it lowered.
 _CLASS_CACHE_LIMIT: int = 4096
+
+#: Environment override for :data:`_CLASS_CACHE_LIMIT` (positive integer).
+CLASS_CACHE_ENV: str = "CARBON_EDGE_CLASS_CACHE_LIMIT"
+
+
+def class_cache_limit() -> int:
+    """The effective per-scenario class-cache bound (env override or default)."""
+    raw = os.environ.get(CLASS_CACHE_ENV, "").strip()
+    if not raw:
+        return _CLASS_CACHE_LIMIT
+    try:
+        limit = int(raw)
+    except ValueError:
+        return _CLASS_CACHE_LIMIT
+    return limit if limit > 0 else _CLASS_CACHE_LIMIT
+
 
 #: Pristine epoch compilations memoised per scenario (LRU).
 _EPOCH_MEMO_LIMIT: int = 64
@@ -1347,7 +1375,9 @@ class EpochDelta:
     hour: int
     horizon_hours: float
     use_forecast: bool
-    applications: tuple
+    #: The epoch's arrivals: a tuple of ``Application`` objects (object path)
+    #: or a columnar :class:`~repro.workloads.generator.ApplicationBatch`.
+    applications: "tuple | ApplicationBatch"
     class_indices: np.ndarray
     intensity: np.ndarray
     capacities: tuple
@@ -1363,8 +1393,16 @@ class EpochDelta:
         """Hashable identity of a pristine delta (``None`` when not memoisable)."""
         if not self.pristine:
             return None
+        apps = self.applications
+        if isinstance(apps, ApplicationBatch):
+            # Formulaic batch ids are fully determined by (interval, count) —
+            # no per-app tuple needed; the class indices capture the content.
+            ids: tuple = (apps.interval_index, len(apps)) \
+                if apps.explicit_ids is None else apps.explicit_ids
+            return ("columnar", self.hour, float(self.horizon_hours),
+                    self.use_forecast, ids, self.class_indices.tobytes())
         return (self.hour, float(self.horizon_hours), self.use_forecast,
-                tuple(app.app_id for app in self.applications),
+                tuple(app.app_id for app in apps),
                 tuple(int(k) for k in self.class_indices))
 
 
@@ -1414,16 +1452,21 @@ class ScenarioCompilation:
         # Lazily captured pristine-fleet baselines.
         self._baseline_capacities: list | None = None
         self._baseline_capacity_dense: dict[tuple, np.ndarray] = {}
-        # Class tables (see _class_of) and derived row caches.
+        # Class tables (see _class_of) and derived row caches. The keyed row
+        # caches are individually LRU-bounded at class_cache_limit(); the
+        # positional class tables are append-only (indices reference
+        # positions) and dropped wholesale by _trim_class_caches instead.
         self._class_index: dict[tuple, int] = {}
         self._class_keys: list[tuple] = []
         self._lat_rows: list[np.ndarray] = []
         self._feas_rows: list[np.ndarray] = []
         self._near: list[float] = []
-        self._blocks: dict[tuple, _WorkloadBlock] = {}
-        self._energy_rows: dict[tuple, np.ndarray] = {}
-        self._dense_rows: dict[tuple, np.ndarray] = {}
-        self._fits_rows: dict[tuple, np.ndarray] = {}
+        self._blocks: OrderedDict[tuple, _WorkloadBlock] = OrderedDict()
+        self._energy_rows: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._dense_rows: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._fits_rows: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        #: Keyed rows evicted by the LRU caps (telemetry; see cache_stats).
+        self._row_evictions: int = 0
         self._epoch_memo: OrderedDict[tuple, EpochCompilation] = OrderedDict()
         #: Region-restricted child compilations (see :meth:`region_slice`).
         self._region_memo: dict[tuple, "ScenarioCompilation"] = {}
@@ -1471,10 +1514,26 @@ class ScenarioCompilation:
 
     # -- static row builders (each mirrors one cold-build expression) ------------
 
+    def _lru_get(self, cache: OrderedDict, key: tuple):
+        """Fetch from a keyed row cache, refreshing the entry's recency."""
+        value = cache.get(key)
+        if value is not None:
+            cache.move_to_end(key)
+        return value
+
+    def _lru_put(self, cache: OrderedDict, key: tuple, value) -> None:
+        """Insert into a keyed row cache, evicting the oldest rows past the
+        class-cache limit (a memo, not state — recomputation is bit-identical)."""
+        cache[key] = value
+        limit = class_cache_limit()
+        while len(cache) > limit:
+            cache.popitem(last=False)
+            self._row_evictions += 1
+
     def _block(self, workload: str, rate: float) -> _WorkloadBlock:
         """Support/demand rows for one (workload, request rate) pair."""
         key = (workload, rate)
-        block = self._blocks.get(key)
+        block = self._lru_get(self._blocks, key)
         if block is None:
             s = len(self.servers)
             supported = np.zeros(s, dtype=bool)
@@ -1496,7 +1555,7 @@ class ScenarioCompilation:
                 demand_row=[v if v is not None else _EMPTY_DEMAND for v in demand_row],
                 demand_keys=frozenset(demand_keys),
                 groups=groups)
-            self._blocks[key] = block
+            self._lru_put(self._blocks, key, block)
         return block
 
     def _energy_row(self, workload: str, rate: float, horizon_hours: float) -> np.ndarray:
@@ -1508,25 +1567,25 @@ class ScenarioCompilation:
         bit-identical.
         """
         key = (workload, rate, float(horizon_hours))
-        row = self._energy_rows.get(key)
+        row = self._lru_get(self._energy_rows, key)
         if row is None:
             row = np.zeros(len(self.servers))
             for cols, profile, _ in self._block(workload, rate).groups:
                 per_app = profile.energy_per_request_j * np.full(1, rate) \
                     * 3600.0 * horizon_hours
                 row[cols] = per_app[0]
-            self._energy_rows[key] = row
+            self._lru_put(self._energy_rows, key, row)
         return row
 
     def _dense_row(self, workload: str, rate: float, keys: tuple) -> np.ndarray:
         """(S, K) dense demand row of one class over an epoch's resource keys."""
         cache_key = (workload, rate, keys)
-        row = self._dense_rows.get(cache_key)
+        row = self._lru_get(self._dense_rows, cache_key)
         if row is None:
             row = np.zeros((len(self.servers), len(keys)))
             for cols, _, vec in self._block(workload, rate).groups:
                 row[cols] = np.array([vec.get(key) for key in keys])
-            self._dense_rows[cache_key] = row
+            self._lru_put(self._dense_rows, cache_key, row)
         return row
 
     def _fits_row(self, workload: str, rate: float, keys: tuple) -> np.ndarray:
@@ -1537,12 +1596,12 @@ class ScenarioCompilation:
         while the fleet holds no allocations.
         """
         cache_key = (workload, rate, keys)
-        row = self._fits_rows.get(cache_key)
+        row = self._lru_get(self._fits_rows, cache_key)
         if row is None:
             capacity = self._capacity_dense(keys)
             row = np.all(self._dense_row(workload, rate, keys) <= capacity + 1e-9,
                          axis=-1)
-            self._fits_rows[cache_key] = row
+            self._lru_put(self._fits_rows, cache_key, row)
         return row
 
     def _capacity_dense(self, keys: tuple, capacities: list | None = None) -> np.ndarray:
@@ -1583,31 +1642,59 @@ class ScenarioCompilation:
 
     def _class_of(self, app: "Application") -> int:
         """Index of an application's class, registering it on first sight."""
-        key = (app.source_site, app.workload, app.request_rate_rps,
-               app.latency_slo_ms, app.duration_hours)
+        return self._register_class(app.source_site, app.workload,
+                                    app.request_rate_rps, app.latency_slo_ms,
+                                    app.duration_hours)
+
+    def _register_class(self, source_site: str, workload: str, rate: float,
+                        slo_ms: float, duration_hours: float) -> int:
+        """Index of one (site, workload, rate, slo, duration) class,
+        registering its static rows on first sight."""
+        key = (source_site, workload, rate, slo_ms, duration_hours)
         k = self._class_index.get(key)
         if k is None:
-            block = self._block(app.workload, app.request_rate_rps)
+            block = self._block(workload, rate)
             # Mirrors the cold builder's latency gather + INFEASIBLE fill and
             # the feasible_mask / nearest_feasible_ms expressions row-wise.
             lat = self.latency.matrix_ms[
-                self.latency.index_of(app.source_site), self.server_cols].astype(float)
+                self.latency.index_of(source_site), self.server_cols].astype(float)
             lat[~block.supported] = INFEASIBLE_LATENCY_MS
-            feas = (2.0 * lat <= app.latency_slo_ms + 1e-9) & block.supported
+            feas = (2.0 * lat <= slo_ms + 1e-9) & block.supported
             near = float(np.where(feas, lat, np.inf).min())
             k = len(self._class_keys)
             self._class_index[key] = k
-            self._class_keys.append((app.source_site, app.workload,
-                                     app.request_rate_rps, app.latency_slo_ms))
+            self._class_keys.append((source_site, workload, rate, slo_ms))
             self._lat_rows.append(lat)
             self._feas_rows.append(feas)
             self._near.append(near)
         return k
 
+    def _batch_class_indices(self, batch: ApplicationBatch) -> np.ndarray:
+        """(A,) scenario class indices of a columnar batch's applications.
+
+        Registers the batch's unique classes in **first-arrival order** — the
+        order a per-application loop over the batch would first encounter
+        them — so the resulting indices (and every downstream float
+        accumulation keyed on them) are bit-identical to the object path's.
+        One loop over C unique classes replaces A per-app lookups.
+        """
+        order = np.argsort(batch.class_first_occurrence(), kind="stable")
+        scen = np.empty(batch.n_classes, dtype=np.intp)
+        sites, workloads = batch.site_names, batch.workload_names
+        for c in order:
+            c = int(c)
+            scen[c] = self._register_class(
+                sites[int(batch.class_site_idx[c])],
+                workloads[int(batch.class_workload_idx[c])],
+                float(batch.class_rate_rps[c]),
+                float(batch.class_slo_ms[c]),
+                float(batch.class_duration_h[c]))
+        return scen[batch.class_idx]
+
     def _trim_class_caches(self) -> None:
         """Wholesale drop of the class tables past the cache limit (a memo,
         not state — recomputation is cheap and bit-identical)."""
-        if len(self._class_index) < _CLASS_CACHE_LIMIT:
+        if len(self._class_index) < class_cache_limit():
             return
         self._class_generation += 1
         self._class_index.clear()
@@ -1621,18 +1708,56 @@ class ScenarioCompilation:
         self._blocks.clear()
         self._epoch_memo.clear()
 
+    def cache_stats(self) -> dict:
+        """Size telemetry for the per-class caches (diagnostics, benches).
+
+        Kept off the experiment artifacts on purpose: cache occupancy is
+        per-process (it differs across ``--workers`` splits), so recording it
+        there would break the byte-identity contract.
+        """
+        row_bytes = sum(r.nbytes for r in self._lat_rows)
+        row_bytes += sum(r.nbytes for r in self._feas_rows)
+        row_bytes += sum(r.nbytes for r in self._energy_rows.values())
+        row_bytes += sum(r.nbytes for r in self._dense_rows.values())
+        row_bytes += sum(r.nbytes for r in self._fits_rows.values())
+        return {
+            "n_classes": len(self._class_keys),
+            "n_blocks": len(self._blocks),
+            "n_energy_rows": len(self._energy_rows),
+            "n_dense_rows": len(self._dense_rows),
+            "n_fits_rows": len(self._fits_rows),
+            "row_bytes": int(row_bytes),
+            "row_evictions": int(self._row_evictions),
+            "class_generation": int(self._class_generation),
+            "cache_limit": class_cache_limit(),
+        }
+
     # -- the per-epoch delta -----------------------------------------------------
 
-    def epoch_delta(self, applications: Sequence["Application"], hour: int,
-                    horizon_hours: float = 1.0,
+    def epoch_delta(self, applications: "Sequence[Application] | ApplicationBatch",
+                    hour: int, horizon_hours: float = 1.0,
                     use_forecast: bool = True) -> EpochDelta:
-        """Capture one epoch's moving parts against this scenario's substrate."""
-        applications = tuple(applications)
-        if not applications:
+        """Capture one epoch's moving parts against this scenario's substrate.
+
+        Columnar batches take the class-table fast path: classes register per
+        unique class (in first-arrival order, so the indices are bit-identical
+        to the per-object walk) and the per-app index vector is one gather.
+        ``CARBON_EDGE_DISABLE_COLUMNAR`` forces the per-object path.
+        """
+        batch = applications if isinstance(applications, ApplicationBatch) else None
+        if batch is not None and not columnar_enabled():
+            applications, batch = tuple(batch.applications), None
+        if batch is None and not isinstance(applications, tuple):
+            applications = tuple(applications)
+        if len(applications) == 0:
             raise ValueError("cannot build a placement problem with no applications")
         self._trim_class_caches()
-        class_indices = np.fromiter((self._class_of(app) for app in applications),
-                                    dtype=np.intp, count=len(applications))
+        if batch is not None:
+            class_indices = self._batch_class_indices(batch)
+        else:
+            class_indices = np.fromiter(
+                (self._class_of(app) for app in applications),
+                dtype=np.intp, count=len(applications))
         unallocated = all(not srv.allocations for srv in self.servers)
         all_on = all(srv.is_on for srv in self.servers)
         if unallocated:
@@ -1698,18 +1823,45 @@ class ScenarioCompilation:
         return self.compile_epoch(delta).problem
 
     def _assemble_problem(self, delta: EpochDelta) -> PlacementProblem:
-        """Gather one epoch's problem tensors from the class rows."""
+        """Gather one epoch's problem tensors from the class rows.
+
+        Columnar deltas build each tensor once per *unique class* and expand
+        to per-application rows with a single fancy-index gather — elementwise
+        the same rows the per-app stacks below copy, so both paths are
+        bit-identical (the gather and the stack both materialise fresh copies
+        of the same cached class rows).
+        """
         ensure_dense_cell_budget(len(delta.applications), len(self.servers),
                                  context="ScenarioCompilation epoch assembly")
         idx = delta.class_indices
-        class_keys = [self._class_keys[k] for k in idx]
-        latency_ms = np.stack([self._lat_rows[k] for k in idx])
-        supported = np.stack([self._block(w, r).supported for _, w, r, _ in class_keys])
-        energy_j = np.stack([self._energy_row(w, r, delta.horizon_hours)
-                             for _, w, r, _ in class_keys])
-        demands = [self._block(w, r).demand_row for _, w, r, _ in class_keys]
+        batch = delta.applications \
+            if isinstance(delta.applications, ApplicationBatch) else None
+        if batch is not None:
+            uniq, inverse = np.unique(idx, return_inverse=True)
+            uniq_keys = [self._class_keys[k] for k in uniq]
+            latency_ms = np.stack([self._lat_rows[k] for k in uniq])[inverse]
+            supported = np.stack(
+                [self._block(w, r).supported for _, w, r, _ in uniq_keys])[inverse]
+            energy_j = np.stack(
+                [self._energy_row(w, r, delta.horizon_hours)
+                 for _, w, r, _ in uniq_keys])[inverse]
+            uniq_demand_rows = [self._block(w, r).demand_row
+                                for _, w, r, _ in uniq_keys]
+            demands = [uniq_demand_rows[c] for c in inverse]
+            applications: "Sequence[Application]" = LazyApplications(batch)
+            epoch_key_source = uniq_keys
+        else:
+            class_keys = [self._class_keys[k] for k in idx]
+            latency_ms = np.stack([self._lat_rows[k] for k in idx])
+            supported = np.stack(
+                [self._block(w, r).supported for _, w, r, _ in class_keys])
+            energy_j = np.stack([self._energy_row(w, r, delta.horizon_hours)
+                                 for _, w, r, _ in class_keys])
+            demands = [self._block(w, r).demand_row for _, w, r, _ in class_keys]
+            applications = list(delta.applications)
+            epoch_key_source = class_keys
         problem = PlacementProblem(
-            applications=list(delta.applications),
+            applications=applications,
             servers=list(self.servers),
             latency_ms=latency_ms,
             energy_j=energy_j,
@@ -1724,14 +1876,23 @@ class ScenarioCompilation:
         # Seed every lazy problem cache the cold path would derive from the
         # same rows: the SLO+support mask, the nearest-feasible latencies, and
         # the dense resource tensors.
-        problem._feasible_mask = np.stack([self._feas_rows[k] for k in idx])
-        problem._nearest_feasible = np.array([self._near[k] for k in idx])
-        keys = self._epoch_keys(class_keys)
+        keys = self._epoch_keys(epoch_key_source)
+        if batch is not None:
+            problem._feasible_mask = np.stack(
+                [self._feas_rows[k] for k in uniq])[inverse]
+            problem._nearest_feasible = np.array(
+                [self._near[k] for k in uniq])[inverse]
+            demand_dense = np.stack(
+                [self._dense_row(w, r, keys) for _, w, r, _ in uniq_keys])[inverse]
+        else:
+            problem._feasible_mask = np.stack([self._feas_rows[k] for k in idx])
+            problem._nearest_feasible = np.array([self._near[k] for k in idx])
+            demand_dense = np.stack(
+                [self._dense_row(w, r, keys) for _, w, r, _ in class_keys])
         if delta.baseline_capacity:
             capacity_dense = self._capacity_dense(keys)
         else:
             capacity_dense = self._capacity_dense(keys, list(delta.capacities))
-        demand_dense = np.stack([self._dense_row(w, r, keys) for _, w, r, _ in class_keys])
         problem._dense_resources = (keys, capacity_dense, demand_dense)
         return problem
 
@@ -1756,12 +1917,19 @@ class ScenarioCompilation:
         keys, _, _ = problem._dense_resources
         feasible = problem._feasible_mask
         if len(keys):
-            class_keys = [self._class_keys[k] for k in delta.class_indices]
-            fits = np.stack([self._fits_row(w, r, keys) for _, w, r, _ in class_keys])
+            if isinstance(delta.applications, ApplicationBatch):
+                uniq, inverse = np.unique(delta.class_indices, return_inverse=True)
+                fits = np.stack(
+                    [self._fits_row(w, r, keys)
+                     for _, w, r, _ in (self._class_keys[k] for k in uniq)])[inverse]
+            else:
+                class_keys = [self._class_keys[k] for k in delta.class_indices]
+                fits = np.stack(
+                    [self._fits_row(w, r, keys) for _, w, r, _ in class_keys])
             mask = feasible & fits
         else:
             mask = feasible.copy()
-        unplaceable = [i for i in range(problem.n_applications) if not mask[i].any()]
+        unplaceable = np.flatnonzero(~mask.any(axis=1)).tolist()
         useful = sorted(set(np.flatnonzero(mask.any(axis=0)).tolist()))
         return FeasibilityReport(mask=mask, unplaceable=unplaceable,
                                  useful_servers=useful)

@@ -51,6 +51,7 @@ from repro.solver.dispatch import run_tasks
 from repro.solver.registry import solve as registry_solve
 from repro.utils.rng import substream
 from repro.utils.units import joules_to_kwh
+from repro.workloads.generator import ApplicationBatch
 
 if TYPE_CHECKING:  # typing only
     from repro.workloads.application import Application
@@ -276,7 +277,7 @@ def _refine_region(compilation: ScenarioCompilation, cols: np.ndarray,
 
 def solve_hierarchical(
     compilation: ScenarioCompilation,
-    applications: Sequence["Application"],
+    applications: "Sequence[Application] | ApplicationBatch",
     plan: RegionPlan,
     *,
     hour: int = 0,
@@ -297,14 +298,21 @@ def solve_hierarchical(
     view bounded by its region. See the module docstring for the four stages
     and the determinism contract.
     """
-    applications = list(applications)
-    if not applications:
+    # Columnar batches stay columnar: the coarse pass below works entirely on
+    # class rows and index arrays, so per-app Application objects are only
+    # materialised (per region / per spilled app) where the refinement and
+    # spill passes genuinely consume them.
+    batch = applications if isinstance(applications, ApplicationBatch) else None
+    if batch is None:
+        applications = list(applications)
+    n_apps = len(batch) if batch is not None else len(applications)
+    if n_apps == 0:
         raise ValueError("cannot solve an empty application batch")
-    n_apps = len(applications)
     servers = compilation.servers
 
     # -- epoch delta: class rows, epoch-mean intensities, capacities ------------
-    delta = compilation.epoch_delta(applications, hour, horizon_hours, use_forecast)
+    delta = compilation.epoch_delta(batch if batch is not None else applications,
+                                    hour, horizon_hours, use_forecast)
     intensity = delta.intensity
     class_idx = delta.class_indices
     uniq, inverse = np.unique(class_idx, return_inverse=True)
@@ -432,7 +440,8 @@ def solve_hierarchical(
         region_app_counts[r] = len(idx_r)
         if not len(idx_r):
             continue
-        apps_r = [applications[i] for i in idx_r]
+        apps_r = batch.subset(idx_r) if batch is not None \
+            else [applications[i] for i in idx_r]
         tasks.append(partial(
             _refine_region, compilation, cols[r], apps_r, idx_r,
             hour=hour, horizon_hours=horizon_hours, use_forecast=use_forecast,
@@ -452,7 +461,7 @@ def solve_hierarchical(
     # -- spill: deterministic re-routing of everything still unplaced -----------
     n_spilled = 0
     for i in np.flatnonzero(assignment < 0):
-        app = applications[i]
+        app = batch.application(int(i)) if batch is not None else applications[i]
         home = int(routed[i]) if routed[i] >= 0 else None
         if home is not None:
             order = [coarse_of_plan[int(p)]

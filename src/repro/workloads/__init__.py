@@ -19,7 +19,13 @@ from repro.workloads.profiles import (
     profiles_for_model,
 )
 from repro.workloads.application import Application, make_application
-from repro.workloads.generator import ApplicationGenerator, ArrivalBatch
+from repro.workloads.generator import (
+    ApplicationBatch,
+    ApplicationGenerator,
+    ArrivalBatch,
+    LazyApplications,
+    columnar_enabled,
+)
 from repro.workloads.requests import RequestLoad, generate_request_load
 from repro.workloads.demand import (
     population_weights,
@@ -38,8 +44,11 @@ __all__ = [
     "profiles_for_model",
     "Application",
     "make_application",
+    "ApplicationBatch",
     "ApplicationGenerator",
     "ArrivalBatch",
+    "LazyApplications",
+    "columnar_enabled",
     "RequestLoad",
     "generate_request_load",
     "population_weights",

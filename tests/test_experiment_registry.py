@@ -21,7 +21,8 @@ from repro.simulator.runner import ScenarioRunner
 EXPECTED_NAMES = [
     "fig01", "fig02", "fig03", "fig04", "table1", "fig05", "fig07", "fig08",
     "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "fig17", "serving_soak", "planetary_sweep", "backend_tournament",
+    "fig17", "serving_soak", "planetary_sweep", "planetary_sweep_xl",
+    "backend_tournament",
 ]
 
 
